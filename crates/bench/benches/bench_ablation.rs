@@ -1,0 +1,87 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//!
+//! * optimized `Match` (witness counters / premv-style propagation) vs the
+//!   naive fixpoint;
+//! * distance-oracle choice: matrix vs BFS vs 2-hop for the same pattern;
+//! * graph simulation (unit bounds) vs bounded simulation on the same
+//!   pattern, quantifying the cost of bounded connectivity.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpm::{
+    bounded_simulation_with_oracle, generate_pattern, graph_simulation, BfsOracle,
+    DistanceMatrix, PatternGenConfig, RandomGraphConfig, TwoHopOracle,
+};
+use gpm::matching::naive::bounded_simulation_naive_with_oracle;
+
+fn bench_optimized_vs_naive(c: &mut Criterion) {
+    let graph = gpm::random_graph(&RandomGraphConfig::new(1_500, 4_500, 20).with_seed(21));
+    let matrix = DistanceMatrix::build(&graph);
+    let (pattern, _) =
+        generate_pattern(&graph, &PatternGenConfig::new(6, 7, 3).with_seed(22));
+
+    let mut group = c.benchmark_group("ablation/match-vs-naive");
+    group.sample_size(15);
+    group.bench_function("Match (counter propagation)", |b| {
+        b.iter(|| bounded_simulation_with_oracle(&pattern, &graph, &matrix));
+    });
+    group.bench_function("naive fixpoint", |b| {
+        b.iter(|| bounded_simulation_naive_with_oracle(&pattern, &graph, &matrix));
+    });
+    group.finish();
+}
+
+fn bench_oracle_choice(c: &mut Criterion) {
+    let graph = gpm::random_graph(&RandomGraphConfig::new(1_500, 4_500, 20).with_seed(23));
+    let matrix = DistanceMatrix::build(&graph);
+    let two_hop = TwoHopOracle::build(&graph);
+    let (pattern, _) =
+        generate_pattern(&graph, &PatternGenConfig::new(5, 5, 3).with_seed(24));
+
+    let mut group = c.benchmark_group("ablation/oracle");
+    group.sample_size(15);
+    group.bench_function("matrix", |b| {
+        b.iter(|| bounded_simulation_with_oracle(&pattern, &graph, &matrix));
+    });
+    group.bench_function("2-hop", |b| {
+        b.iter(|| bounded_simulation_with_oracle(&pattern, &graph, &two_hop));
+    });
+    group.bench_function("bfs", |b| {
+        b.iter(|| {
+            let bfs = BfsOracle::new();
+            bounded_simulation_with_oracle(&pattern, &graph, &bfs)
+        });
+    });
+    group.finish();
+}
+
+fn bench_bounded_vs_plain_simulation(c: &mut Criterion) {
+    let graph = gpm::random_graph(&RandomGraphConfig::new(1_500, 4_500, 20).with_seed(25));
+    let matrix = DistanceMatrix::build(&graph);
+    let (pattern, _) = generate_pattern(
+        &graph,
+        &PatternGenConfig {
+            max_bound: 1,
+            bound_variation: 0,
+            unbounded_probability: 0.0,
+            ..PatternGenConfig::new(5, 5, 1).with_seed(26)
+        },
+    );
+
+    let mut group = c.benchmark_group("ablation/simulation");
+    group.sample_size(15);
+    group.bench_function("graph simulation (HHK)", |b| {
+        b.iter(|| graph_simulation(&pattern, &graph));
+    });
+    group.bench_function("bounded simulation (unit bounds)", |b| {
+        b.iter(|| bounded_simulation_with_oracle(&pattern, &graph, &matrix));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_optimized_vs_naive,
+    bench_oracle_choice,
+    bench_bounded_vs_plain_simulation
+);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion micro-benchmarks for the subgraph-isomorphism baselines:
+//! Ullmann (`SubIso`) vs VF2 vs bounded simulation on the same instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpm::{
+    bounded_simulation_with_oracle, generate_pattern, subgraph_isomorphism_ullmann,
+    subgraph_isomorphism_vf2, DistanceMatrix, IsoConfig, PatternGenConfig, RandomGraphConfig,
+};
+
+fn bench_baselines(c: &mut Criterion) {
+    let graph = gpm::random_graph(&RandomGraphConfig::new(1_000, 3_000, 30).with_seed(12));
+    let matrix = DistanceMatrix::build(&graph);
+    let config = IsoConfig {
+        max_embeddings: 1_000,
+        max_steps: 500_000,
+    };
+
+    let mut group = c.benchmark_group("iso/baselines");
+    group.sample_size(15);
+    for size in [3usize, 5] {
+        let (pattern, _) = generate_pattern(
+            &graph,
+            &PatternGenConfig {
+                max_bound: 1,
+                bound_variation: 0,
+                unbounded_probability: 0.0,
+                ..PatternGenConfig::new(size, size, 1).with_seed(13)
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("ullmann", size), &pattern, |b, p| {
+            b.iter(|| subgraph_isomorphism_ullmann(p, &graph, &config));
+        });
+        group.bench_with_input(BenchmarkId::new("vf2", size), &pattern, |b, p| {
+            b.iter(|| subgraph_isomorphism_vf2(p, &graph, &config));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("bounded-simulation", size),
+            &pattern,
+            |b, p| {
+                b.iter(|| bounded_simulation_with_oracle(p, &graph, &matrix));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion micro-benchmarks for the core `Match` algorithm: matching time
+//! as a function of pattern size and data-graph size (the micro view behind
+//! Figs. 6(b) and 6(f)-(h)).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpm::{
+    bounded_simulation_with_oracle, generate_pattern, DistanceMatrix, PatternGenConfig,
+    RandomGraphConfig,
+};
+
+fn bench_pattern_size(c: &mut Criterion) {
+    let graph = gpm::random_graph(&RandomGraphConfig::new(2_000, 6_000, 50).with_seed(1));
+    let matrix = DistanceMatrix::build(&graph);
+    let mut group = c.benchmark_group("match/pattern-size");
+    group.sample_size(20);
+    for size in [3usize, 5, 8] {
+        let (pattern, _) =
+            generate_pattern(&graph, &PatternGenConfig::new(size, size, 3).with_seed(7));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &pattern, |b, p| {
+            b.iter(|| bounded_simulation_with_oracle(p, &graph, &matrix));
+        });
+    }
+    group.finish();
+}
+
+fn bench_graph_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("match/graph-size");
+    group.sample_size(15);
+    for nodes in [1_000usize, 2_000, 4_000] {
+        let graph =
+            gpm::random_graph(&RandomGraphConfig::new(nodes, nodes * 3, 50).with_seed(2));
+        let matrix = DistanceMatrix::build(&graph);
+        let (pattern, _) =
+            generate_pattern(&graph, &PatternGenConfig::new(5, 5, 3).with_seed(11));
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
+            b.iter(|| bounded_simulation_with_oracle(&pattern, &graph, &matrix));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pattern_size, bench_graph_size);
+criterion_main!(benches);

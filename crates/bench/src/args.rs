@@ -1,0 +1,128 @@
+//! Minimal command-line argument handling shared by the experiment binaries.
+//!
+//! Only three flags are needed (`--scale`, `--seed`, `--patterns`), so a tiny
+//! hand-rolled parser keeps the harness free of CLI dependencies.
+
+/// Common harness arguments.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HarnessArgs {
+    /// Fraction of the paper's dataset sizes to generate.
+    pub scale: f64,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Number of random patterns to average over.
+    pub patterns: usize,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        HarnessArgs {
+            scale: 0.25,
+            seed: 2010,
+            patterns: 5,
+        }
+    }
+}
+
+impl HarnessArgs {
+    /// Parses `--scale`, `--seed` and `--patterns` from an iterator of
+    /// arguments (unknown arguments are reported with an error message).
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut out = HarnessArgs::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            let mut take_value = |name: &str| {
+                iter.next()
+                    .ok_or_else(|| format!("missing value for {name}"))
+            };
+            match arg.as_str() {
+                "--scale" => {
+                    out.scale = take_value("--scale")?
+                        .parse()
+                        .map_err(|e| format!("invalid --scale: {e}"))?;
+                }
+                "--seed" => {
+                    out.seed = take_value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("invalid --seed: {e}"))?;
+                }
+                "--patterns" => {
+                    out.patterns = take_value("--patterns")?
+                        .parse()
+                        .map_err(|e| format!("invalid --patterns: {e}"))?;
+                }
+                "--help" | "-h" => {
+                    return Err(
+                        "usage: <experiment> [--scale <f>] [--seed <n>] [--patterns <n>]"
+                            .to_string(),
+                    )
+                }
+                other => return Err(format!("unknown argument `{other}`")),
+            }
+        }
+        if out.scale <= 0.0 || !out.scale.is_finite() {
+            return Err("--scale must be a positive number".to_string());
+        }
+        if out.patterns == 0 {
+            return Err("--patterns must be at least 1".to_string());
+        }
+        Ok(out)
+    }
+
+    /// Parses the process arguments, exiting with a message on error.
+    pub fn from_env() -> Self {
+        match Self::parse_from(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Scales one of the paper's workload sizes.
+    pub fn scaled(&self, paper_size: usize) -> usize {
+        ((paper_size as f64 * self.scale).round() as usize).max(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<HarnessArgs, String> {
+        HarnessArgs::parse_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a, HarnessArgs::default());
+        assert!(a.scale > 0.0);
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let a = parse(&["--scale", "0.5", "--seed", "99", "--patterns", "20"]).unwrap();
+        assert_eq!(a.scale, 0.5);
+        assert_eq!(a.seed, 99);
+        assert_eq!(a.patterns, 20);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&["--scale"]).is_err());
+        assert!(parse(&["--scale", "abc"]).is_err());
+        assert!(parse(&["--scale", "-1"]).is_err());
+        assert!(parse(&["--patterns", "0"]).is_err());
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--help"]).is_err());
+    }
+
+    #[test]
+    fn scaled_sizes() {
+        let a = parse(&["--scale", "0.1"]).unwrap();
+        assert_eq!(a.scaled(1000), 100);
+        assert_eq!(a.scaled(10), 8, "clamped to a useful minimum");
+    }
+}

@@ -1,0 +1,94 @@
+//! Exp-1 (effectiveness): bounded simulation vs subgraph isomorphism on the
+//! simulated YouTube graph.
+//!
+//! The paper generates 20 patterns, runs `Match` and `SubIso` on each, and
+//! reports (a) how many patterns SubIso fails on entirely while Match still
+//! finds sensible communities, and (b) the average number of matches per
+//! pattern node for both approaches.
+
+use gpm::{
+    bounded_simulation_with_oracle, generate_pattern, subgraph_isomorphism_ullmann, Dataset,
+    IsoConfig, PatternGenConfig,
+};
+use gpm_bench::{fmt_ms, time, HarnessArgs, Subject, Table};
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let pattern_count = args.patterns.max(20);
+    let graph = Dataset::YouTube.generate(args.scale, args.seed);
+    let subject = Subject::new(graph);
+    println!(
+        "simulated YouTube: |V| = {}, |E| = {} (scale {}), distance matrix built in {} ms\n",
+        subject.graph.node_count(),
+        subject.graph.edge_count(),
+        args.scale,
+        fmt_ms(subject.matrix_build_time)
+    );
+
+    let mut table = Table::new(
+        format!("Exp-1: Match vs SubIso over {pattern_count} generated patterns"),
+        &[
+            "pattern",
+            "Match pairs",
+            "Match per-node",
+            "SubIso embeddings",
+            "SubIso per-node",
+            "Match ms",
+            "SubIso ms",
+        ],
+    );
+
+    let mut subiso_failures = 0usize;
+    let mut match_failures = 0usize;
+    let mut sum_match_per_node = 0.0;
+    let mut sum_subiso_per_node = 0.0;
+
+    for i in 0..pattern_count {
+        // Small patterns with k <= 4, as in the experiment; bound 1 edges are
+        // common which favours SubIso.
+        let cfg = PatternGenConfig::new(4, 4, 4).with_seed(args.seed + i as u64);
+        let (pattern, _) = generate_pattern(&subject.graph, &cfg);
+
+        let (outcome, match_time) =
+            time(|| bounded_simulation_with_oracle(&pattern, &subject.graph, &subject.matrix));
+        let (iso, iso_time) = time(|| {
+            subgraph_isomorphism_ullmann(&pattern, &subject.graph, &IsoConfig::default())
+        });
+
+        let match_per_node = outcome.relation.average_matches_per_pattern_node();
+        let subiso_per_node = iso.average_images_per_pattern_node(&pattern);
+        sum_match_per_node += match_per_node;
+        sum_subiso_per_node += subiso_per_node;
+        if !iso.is_match() {
+            subiso_failures += 1;
+        }
+        if !outcome.relation.is_match(&pattern) {
+            match_failures += 1;
+        }
+
+        table.row(vec![
+            format!("P#{i:02}(4,4,<=4)"),
+            outcome.relation.pair_count().to_string(),
+            format!("{match_per_node:.1}"),
+            iso.count().to_string(),
+            format!("{subiso_per_node:.1}"),
+            fmt_ms(match_time),
+            fmt_ms(iso_time),
+        ]);
+    }
+    table.print();
+
+    println!(
+        "summary: SubIso found no embedding for {subiso_failures}/{pattern_count} patterns \
+         (Match unmatched: {match_failures}/{pattern_count});"
+    );
+    println!(
+        "average matches per pattern node: Match {:.1} vs SubIso {:.1}",
+        sum_match_per_node / pattern_count as f64,
+        sum_subiso_per_node / pattern_count as f64
+    );
+    println!(
+        "paper reference: SubIso failed on 2/20 patterns; Match found ~5-9 matches per pattern \
+         node vs 1 for SubIso."
+    );
+}

@@ -1,0 +1,84 @@
+//! Appendix statistics — |Gr| (result-graph size) and the relationship
+//! between |AFF1|, |AFF2| and the "relevant" part of AFF1 (pairs that touch a
+//! current match), complementing Exp-2/Exp-3.
+
+use gpm::{
+    bounded_simulation_with_oracle, random_updates, Dataset, IncrementalMatcher, ResultGraph,
+    UpdateStreamConfig,
+};
+use gpm_bench::{dag_pattern, patterns_for, HarnessArgs, Subject, Table};
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let graph = Dataset::YouTube.generate(args.scale, args.seed);
+    let subject = Subject::new(graph);
+    println!(
+        "simulated YouTube: |V| = {}, |E| = {}\n",
+        subject.graph.node_count(),
+        subject.graph.edge_count()
+    );
+
+    // (1) Result-graph sizes for P(4,4,3) patterns.
+    let mut table = Table::new(
+        "Result-graph size |Gr| for P(4,4,3) patterns",
+        &["pattern", "|S| pairs", "Gr nodes", "Gr edges", "components"],
+    );
+    let patterns = patterns_for(&subject.graph, 4, 4, 3, args.patterns, args.seed);
+    for (i, pattern) in patterns.iter().enumerate() {
+        let outcome = bounded_simulation_with_oracle(pattern, &subject.graph, &subject.matrix);
+        let rg = ResultGraph::build(pattern, &subject.graph, &outcome.relation);
+        table.row(vec![
+            format!("P#{i}"),
+            outcome.relation.pair_count().to_string(),
+            rg.node_count().to_string(),
+            rg.edge_count().to_string(),
+            rg.weakly_connected_components().len().to_string(),
+        ]);
+    }
+    table.print();
+    println!(
+        "paper reference: around 70 nodes and 174 edges per result graph for (4,4,3) patterns\n\
+         on the full-size YouTube graph (sizes scale with --scale).\n"
+    );
+
+    // (2) AFF statistics for insertion batches.
+    let pattern = dag_pattern(&subject.graph, 4, 4, 3, args.seed);
+    let base = IncrementalMatcher::new(pattern, subject.graph.clone());
+    let mut table = Table::new(
+        "Affected areas for insertion batches",
+        &["|δ|", "|AFF1|", "|AFF1| relevant", "|AFF2|"],
+    );
+    for &delta in &[50usize, 100, 200, 400] {
+        let updates = random_updates(
+            base.graph(),
+            &UpdateStreamConfig::insertions(delta).with_seed(args.seed + delta as u64),
+        );
+        let mut matcher = base.clone();
+        let relation_before = matcher.relation();
+        let outcome = matcher.apply_batch(&updates).expect("DAG pattern");
+        // "Relevant" AFF1 pairs: those whose source or sink is a matched node
+        // of some pattern node — the pairs that can possibly affect S.
+        let matched: std::collections::HashSet<_> = relation_before
+            .iter_pairs()
+            .map(|(_, v)| v)
+            .chain(matcher.relation().iter_pairs().map(|(_, v)| v))
+            .collect();
+        let relevant = outcome
+            .aff1
+            .iter()
+            .filter(|p| matched.contains(&p.source) || matched.contains(&p.sink))
+            .count();
+        table.row(vec![
+            updates.len().to_string(),
+            outcome.stats.aff1.to_string(),
+            relevant.to_string(),
+            outcome.stats.aff2.to_string(),
+        ]);
+    }
+    table.print();
+    println!(
+        "paper reference: although |AFF1| can be large, only a small fraction of it can affect\n\
+         the match, and |AFF2| stays far smaller than |AFF1| — bounded simulation is relatively\n\
+         insensitive to data-graph updates."
+    );
+}

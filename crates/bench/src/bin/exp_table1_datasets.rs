@@ -1,0 +1,33 @@
+//! T1 — the dataset-size table of Section 5.
+//!
+//! Prints the paper-reported sizes of the three real-life graphs next to the
+//! sizes of the simulated stand-ins generated at the requested `--scale`.
+
+use gpm::Dataset;
+use gpm_bench::{HarnessArgs, Table};
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let mut table = Table::new(
+        format!("Table 1: real-life datasets (scale {})", args.scale),
+        &[
+            "dataset",
+            "|V| (paper)",
+            "|E| (paper)",
+            "|V| (generated)",
+            "|E| (generated)",
+        ],
+    );
+    for dataset in Dataset::ALL {
+        let spec = dataset.spec();
+        let g = dataset.generate(args.scale, args.seed);
+        table.row(vec![
+            spec.name.to_string(),
+            spec.nodes.to_string(),
+            spec.edges.to_string(),
+            g.node_count().to_string(),
+            g.edge_count().to_string(),
+        ]);
+    }
+    table.print();
+}

@@ -1,0 +1,124 @@
+//! Shared driver for the incremental experiments (Figs. 6(i), 6(j), 6(k)).
+//!
+//! For each batch size `|δ|` on the x-axis the driver:
+//!
+//! 1. generates an update stream with the requested insert/delete mix;
+//! 2. runs `IncMatch` starting from the precomputed match and matrix;
+//! 3. runs the batch baseline: apply the updates to a copy of the graph,
+//!    **recompute the distance matrix** (its cost is counted, as in the
+//!    paper) and re-run `Match`;
+//! 4. checks the two results agree and reports both times plus
+//!    `|AFF| = |AFF1| + |AFF2|` per update.
+
+use crate::{fmt_ms, time, HarnessArgs, Table};
+use gpm::{
+    bounded_simulation_with_oracle, generate_pattern, random_updates, Dataset, DistanceMatrix,
+    IncrementalMatcher, PatternGenConfig, PatternGraph, UpdateStreamConfig,
+};
+
+/// Which update mix an experiment uses.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum UpdateMix {
+    /// Half insertions, half deletions (Fig. 6(i)).
+    Mixed,
+    /// Deletions only (Fig. 6(j)).
+    Deletions,
+    /// Insertions only (Fig. 6(k)).
+    Insertions,
+}
+
+impl UpdateMix {
+    fn config(self, count: usize) -> UpdateStreamConfig {
+        match self {
+            UpdateMix::Mixed => UpdateStreamConfig::mixed(count),
+            UpdateMix::Deletions => UpdateStreamConfig::deletions(count),
+            UpdateMix::Insertions => UpdateStreamConfig::insertions(count),
+        }
+    }
+}
+
+/// Generates a DAG pattern for the incremental experiments (IncMatch requires
+/// acyclic patterns); retries seeds until the generator produces one.
+pub fn dag_pattern(graph: &gpm::DataGraph, nodes: usize, edges: usize, bound: u32, seed: u64) -> PatternGraph {
+    for attempt in 0..64u64 {
+        let cfg = PatternGenConfig::new(nodes, edges, bound).with_seed(seed + attempt * 7919);
+        let (pattern, _) = generate_pattern(graph, &cfg);
+        if pattern.is_dag() {
+            return pattern;
+        }
+    }
+    // Spanning structures are always DAGs, so this is effectively unreachable;
+    // fall back to a tree-shaped pattern.
+    let cfg = PatternGenConfig::new(nodes, nodes.saturating_sub(1), bound).with_seed(seed);
+    generate_pattern(graph, &cfg).0
+}
+
+/// Runs one of the incremental experiments and prints its table.
+pub fn run_update_experiment(title: &str, mix: UpdateMix, paper_deltas: &[usize], args: &HarnessArgs) {
+    let graph = Dataset::YouTube.generate(args.scale, args.seed);
+    println!(
+        "simulated YouTube: |V| = {}, |E| = {} (scale {})",
+        graph.node_count(),
+        graph.edge_count(),
+        args.scale
+    );
+
+    let pattern = dag_pattern(&graph, 4, 4, 3, args.seed);
+    let (base, setup_time) = time(|| IncrementalMatcher::new(pattern.clone(), graph.clone()));
+    println!(
+        "initial Match (matrix + maximum match): {} ms, {} pairs\n",
+        fmt_ms(setup_time),
+        base.relation().pair_count()
+    );
+
+    let mut table = Table::new(
+        title.to_string(),
+        &[
+            "|δ| (paper)",
+            "|δ| (scaled)",
+            "IncMatch (ms)",
+            "Match recompute (ms)",
+            "|AFF|/update",
+            "agree",
+        ],
+    );
+
+    for &paper_delta in paper_deltas {
+        let delta = ((paper_delta as f64 * args.scale).round() as usize).max(4);
+        let updates = random_updates(
+            base.graph(),
+            &mix.config(delta).with_seed(args.seed + paper_delta as u64),
+        );
+
+        // Incremental: start from the shared precomputed state.
+        let mut matcher = base.clone();
+        let (outcome, inc_time) = time(|| matcher.apply_batch(&updates).expect("DAG pattern"));
+
+        // Batch baseline: apply updates, rebuild the matrix (cost counted),
+        // re-run Match.
+        let mut updated_graph = base.graph().clone();
+        for u in &updates {
+            u.apply(&mut updated_graph);
+        }
+        let (batch_relation, batch_time) = time(|| {
+            let matrix = DistanceMatrix::build(&updated_graph);
+            bounded_simulation_with_oracle(&pattern, &updated_graph, &matrix).relation
+        });
+
+        let agree = matcher.relation() == batch_relation;
+        let aff_per_update = if updates.is_empty() {
+            0
+        } else {
+            outcome.stats.total_affected() / updates.len()
+        };
+        table.row(vec![
+            paper_delta.to_string(),
+            updates.len().to_string(),
+            fmt_ms(inc_time),
+            fmt_ms(batch_time),
+            aff_per_update.to_string(),
+            agree.to_string(),
+        ]);
+    }
+    table.print();
+}

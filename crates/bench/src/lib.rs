@@ -1,0 +1,130 @@
+//! # gpm-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! paper's evaluation (Section 5 + appendix). Each experiment is a binary in
+//! `src/bin/` printing a plain-text table with one row per x-axis point of
+//! the corresponding figure; Criterion micro-benchmarks for the ablation
+//! study live in `benches/`.
+//!
+//! All binaries accept:
+//!
+//! * `--scale <f>` — fraction of the paper's dataset sizes to generate
+//!   (default keeps every experiment laptop-friendly; `--scale 1.0` uses the
+//!   paper's sizes);
+//! * `--seed <n>` — RNG seed for graphs, patterns and update streams;
+//! * `--patterns <n>` — number of random patterns to average over where the
+//!   paper averages over 20.
+//!
+//! See EXPERIMENTS.md at the repository root for the experiment-by-experiment
+//! comparison against the numbers reported in the paper.
+
+use gpm::{DataGraph, DistanceMatrix, PatternGraph};
+use std::time::{Duration, Instant};
+
+pub mod args;
+pub mod incremental_exp;
+pub mod table;
+
+pub use args::HarnessArgs;
+pub use incremental_exp::{dag_pattern, run_update_experiment, UpdateMix};
+pub use table::Table;
+
+/// Measures the wall-clock time of a closure, returning its result as well.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed())
+}
+
+/// Formats a duration in milliseconds with a sensible precision for tables.
+pub fn fmt_ms(d: Duration) -> String {
+    let ms = d.as_secs_f64() * 1e3;
+    if ms >= 100.0 {
+        format!("{ms:.0}")
+    } else if ms >= 1.0 {
+        format!("{ms:.1}")
+    } else {
+        format!("{ms:.3}")
+    }
+}
+
+/// The standard experimental subject: a data graph plus its distance matrix
+/// (which the paper precomputes once and shares across patterns).
+pub struct Subject {
+    /// The data graph under test.
+    pub graph: DataGraph,
+    /// Its all-pairs non-empty distance matrix.
+    pub matrix: DistanceMatrix,
+    /// How long the matrix construction took (reported separately, as in
+    /// Fig. 6(b)'s "Match(Total)" vs "Match(Match Process)" curves).
+    pub matrix_build_time: Duration,
+}
+
+impl Subject {
+    /// Builds the subject for a data graph, timing the matrix construction.
+    pub fn new(graph: DataGraph) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let (matrix, matrix_build_time) =
+            time(|| DistanceMatrix::build_parallel(&graph, threads));
+        Subject {
+            graph,
+            matrix,
+            matrix_build_time,
+        }
+    }
+}
+
+/// Generates the `count` evaluation patterns for a graph at the paper's
+/// `P(|V_p|, |E_p|, k)` parameters, varying the seed.
+pub fn patterns_for(
+    graph: &DataGraph,
+    nodes: usize,
+    edges: usize,
+    bound: u32,
+    count: usize,
+    base_seed: u64,
+) -> Vec<PatternGraph> {
+    (0..count)
+        .map(|i| {
+            let cfg = gpm::PatternGenConfig::new(nodes, edges, bound)
+                .with_seed(base_seed.wrapping_mul(1_000_003).wrapping_add(i as u64));
+            gpm::generate_pattern(graph, &cfg).0
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm::{random_graph, RandomGraphConfig};
+
+    #[test]
+    fn time_and_format() {
+        let (v, d) = time(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(d.as_nanos() > 0);
+        assert_eq!(fmt_ms(Duration::from_millis(250)), "250");
+        assert_eq!(fmt_ms(Duration::from_micros(1500)), "1.5");
+        assert_eq!(fmt_ms(Duration::from_micros(90)), "0.090");
+    }
+
+    #[test]
+    fn subject_builds_matrix() {
+        let g = random_graph(&RandomGraphConfig::new(50, 120, 5).with_seed(1));
+        let s = Subject::new(g);
+        assert_eq!(s.matrix.node_count(), 50);
+        assert_eq!(s.graph.node_count(), 50);
+    }
+
+    #[test]
+    fn patterns_for_produces_distinct_patterns() {
+        let g = random_graph(&RandomGraphConfig::new(100, 300, 8).with_seed(2));
+        let ps = patterns_for(&g, 4, 4, 3, 5, 7);
+        assert_eq!(ps.len(), 5);
+        for p in &ps {
+            assert_eq!(p.node_count(), 4);
+        }
+    }
+}

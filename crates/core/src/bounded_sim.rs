@@ -1,0 +1,504 @@
+//! The cubic-time `Match` algorithm (Fig. 4 of the paper).
+//!
+//! Given a pattern `P = (V_p, E_p, f_v, f_e)` and a data graph
+//! `G = (V, E, f_A)`, `Match` computes the unique **maximum** bounded
+//! simulation relation `S ⊆ V_p × V` (or `∅` when `P ⋬ G`) in
+//! `O(|V||E| + |E_p||V|² + |V_p||V|)` time.
+//!
+//! ## Implementation
+//!
+//! The structure follows the paper: initial candidate sets `mat(u)` from the
+//! node predicates, then iterative removal of nodes that cannot witness some
+//! pattern edge, propagated upward until a fixpoint. Two representation
+//! choices differ from the pseudo-code but keep the bound (see DESIGN.md):
+//!
+//! * `anc`/`desc` sets are not materialised; the distance oracle answers the
+//!   `len(x/.../x') <= f_e(u', u)` test in `O(1)` (distance matrix) — this is
+//!   exactly the information the `anc`/`desc` sets encode;
+//! * the `premv` bookkeeping is realised with per-(pattern-edge, data-node)
+//!   **witness counters**: `cnt[e][x]` is the number of nodes currently in
+//!   `mat(target(e))` that `x` can reach within the bound of `e`. When a node
+//!   `y` is removed from `mat(u)`, the counters of candidate parents that can
+//!   reach `y` are decremented; hitting zero removes the parent candidate —
+//!   the same `O(|E_p||V|²)` propagation the paper obtains with `premv`.
+
+use crate::match_relation::MatchRelation;
+use gpm_distance::{DistanceMatrix, DistanceOracle};
+use gpm_graph::{DataGraph, NodeId, PatternGraph, PatternNodeId};
+
+/// Counters and outcome metadata of a `Match` run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MatchStats {
+    /// Total number of initial candidates over all pattern nodes
+    /// (`Σ_u |mat_0(u)|`).
+    pub initial_candidates: usize,
+    /// Number of `(u, x)` candidate pairs removed during refinement.
+    pub removed_candidates: usize,
+    /// Number of witness-counter decrements performed (a proxy for the work
+    /// of the refinement loop).
+    pub counter_decrements: usize,
+    /// Whether the run ended early because some `mat(u)` became empty.
+    pub failed_early: bool,
+}
+
+/// The result of running `Match`: the maximum match plus run statistics.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MatchOutcome {
+    /// The maximum match `S` (all-empty when `P ⋬ G`).
+    pub relation: MatchRelation,
+    /// Statistics about the run.
+    pub stats: MatchStats,
+}
+
+impl MatchOutcome {
+    /// Whether the data graph matches the pattern (`P ⊴ G`).
+    pub fn is_match(&self, pattern: &PatternGraph) -> bool {
+        self.relation.is_match(pattern)
+    }
+}
+
+/// Runs `Match` with a freshly built distance matrix.
+///
+/// This is the convenience entry point; use
+/// [`bounded_simulation_with_oracle`] to reuse a prebuilt matrix (the paper
+/// computes `M` once and shares it across patterns) or to select the BFS /
+/// 2-hop variants.
+pub fn bounded_simulation(pattern: &PatternGraph, graph: &DataGraph) -> MatchOutcome {
+    let matrix = DistanceMatrix::build(graph);
+    bounded_simulation_with_oracle(pattern, graph, &matrix)
+}
+
+/// Runs `Match` against an arbitrary [`DistanceOracle`].
+pub fn bounded_simulation_with_oracle<O: DistanceOracle + ?Sized>(
+    pattern: &PatternGraph,
+    graph: &DataGraph,
+    oracle: &O,
+) -> MatchOutcome {
+    let np = pattern.node_count();
+    let nv = graph.node_count();
+    let mut stats = MatchStats::default();
+
+    if np == 0 {
+        // The empty pattern matches trivially with the empty relation.
+        return MatchOutcome {
+            relation: MatchRelation::empty(0),
+            stats,
+        };
+    }
+
+    // mat(u) as a membership bitmap per pattern node (lines 4-5 of Fig. 4).
+    let mut member: Vec<Vec<bool>> = vec![vec![false; nv]; np];
+    let mut live_count: Vec<usize> = vec![0; np];
+    for u in pattern.node_ids() {
+        let needs_out_edge = pattern.out_degree(u) > 0;
+        for v in graph.nodes_satisfying(pattern.predicate(u)) {
+            if needs_out_edge && graph.out_degree(v) == 0 {
+                continue;
+            }
+            member[u.index()][v.index()] = true;
+            live_count[u.index()] += 1;
+        }
+        stats.initial_candidates += live_count[u.index()];
+        if live_count[u.index()] == 0 {
+            stats.failed_early = true;
+            return MatchOutcome {
+                relation: MatchRelation::empty(np),
+                stats,
+            };
+        }
+    }
+
+    // Witness counters per pattern edge: cnt[e][x] = |{y in mat(to(e)) :
+    // within(x, y, bound(e))}| for x in mat(from(e)).
+    //
+    // All counters are computed against the *initial* candidate sets before
+    // any removal takes place, so that every later removal of a witness `y`
+    // corresponds to exactly one decrement.
+    let edges: Vec<_> = pattern.edges().copied().collect();
+    let mut counters: Vec<Vec<u32>> = vec![vec![0; nv]; edges.len()];
+    // Worklist of removed (pattern node, data node) pairs to propagate.
+    let mut worklist: Vec<(PatternNodeId, NodeId)> = Vec::new();
+    // Candidates found witness-less during counter initialisation; their
+    // removal is deferred until all counters are in place.
+    let mut pending: Vec<(PatternNodeId, NodeId)> = Vec::new();
+
+    for (ei, e) in edges.iter().enumerate() {
+        let from = e.from.index();
+        let to = e.to.index();
+        for x in 0..nv {
+            if !member[from][x] {
+                continue;
+            }
+            let xv = NodeId::new(x as u32);
+            let mut count = 0u32;
+            for (y, &is_member) in member[to].iter().enumerate() {
+                if is_member && oracle.within(graph, xv, NodeId::new(y as u32), e.bound) {
+                    count += 1;
+                }
+            }
+            counters[ei][x] = count;
+            if count == 0 {
+                // x cannot witness edge e: schedule its removal from mat(from).
+                pending.push((e.from, xv));
+            }
+        }
+    }
+    for (u, x) in pending {
+        if member[u.index()][x.index()] {
+            member[u.index()][x.index()] = false;
+            live_count[u.index()] -= 1;
+            stats.removed_candidates += 1;
+            worklist.push((u, x));
+            if live_count[u.index()] == 0 {
+                stats.failed_early = true;
+                return MatchOutcome {
+                    relation: MatchRelation::empty(np),
+                    stats,
+                };
+            }
+        }
+    }
+
+    // Index of pattern in-edges per pattern node, to propagate removals to
+    // candidate parents (lines 11-14 of Fig. 4).
+    let mut in_edge_indices: Vec<Vec<usize>> = vec![Vec::new(); np];
+    for (ei, e) in edges.iter().enumerate() {
+        in_edge_indices[e.to.index()].push(ei);
+    }
+
+    while let Some((u, y)) = worklist.pop() {
+        // y was removed from mat(u); decrement the counters of candidate
+        // parents x (over every pattern edge ending in u) that reach y.
+        for &ei in &in_edge_indices[u.index()] {
+            let e = &edges[ei];
+            let parent = e.from.index();
+            for x in 0..nv {
+                if !member[parent][x] {
+                    continue;
+                }
+                let xv = NodeId::new(x as u32);
+                if !oracle.within(graph, xv, y, e.bound) {
+                    continue;
+                }
+                stats.counter_decrements += 1;
+                debug_assert!(counters[ei][x] > 0, "witness counter underflow");
+                counters[ei][x] -= 1;
+                if counters[ei][x] == 0 {
+                    member[parent][x] = false;
+                    live_count[parent] -= 1;
+                    stats.removed_candidates += 1;
+                    worklist.push((e.from, xv));
+                    if live_count[parent] == 0 {
+                        stats.failed_early = true;
+                        return MatchOutcome {
+                            relation: MatchRelation::empty(np),
+                            stats,
+                        };
+                    }
+                }
+            }
+        }
+    }
+
+    // Collect the surviving candidates (lines 16-18).
+    let sets: Vec<Vec<NodeId>> = member
+        .iter()
+        .map(|row| {
+            row.iter()
+                .enumerate()
+                .filter(|&(_x, &alive)| alive).map(|(x, &_alive)| NodeId::new(x as u32))
+                .collect()
+        })
+        .collect();
+    MatchOutcome {
+        relation: MatchRelation::from_sets(sets),
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_distance::{BfsOracle, TwoHopOracle};
+    use gpm_graph::{
+        Attributes, CmpOp, DataGraphBuilder, EdgeBound, PatternGraphBuilder, Predicate,
+    };
+
+    fn pn(i: u32) -> PatternNodeId {
+        PatternNodeId::new(i)
+    }
+
+    fn dn(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    /// The drug-trafficking example of Fig. 1: pattern P0 and data graph G0.
+    ///
+    /// G0: boss B oversees AMs A1..Am; Am doubles as the secretary S; the
+    /// AMs supervise a small hierarchy of field workers W, who report back.
+    fn example_1_1(m: usize) -> (DataGraph, PatternGraph) {
+        let mut g = DataGraph::new();
+        let b = g.add_node(Attributes::labeled("B"));
+        let mut ams = Vec::new();
+        for i in 0..m {
+            // The last AM is also the secretary: it carries both roles.
+            let attrs = if i == m - 1 {
+                Attributes::labeled("AM").with("secretary", true)
+            } else {
+                Attributes::labeled("AM")
+            };
+            let am = g.add_node(attrs);
+            g.add_edge(b, am).unwrap();
+            ams.push(am);
+        }
+        // Field-worker chains of depth 3 under the first AM, depth 1 under
+        // the others; everyone reports back to an AM (so FW nodes have
+        // outgoing edges, as P0 requires via the FW -> AM edge).
+        let mut workers = Vec::new();
+        for (i, &am) in ams.iter().enumerate() {
+            let depth = if i == 0 { 3 } else { 1 };
+            let mut prev = am;
+            for _ in 0..depth {
+                let w = g.add_node(Attributes::labeled("FW"));
+                g.add_edge(prev, w).unwrap();
+                workers.push(w);
+                prev = w;
+            }
+            g.add_edge(prev, am).unwrap();
+        }
+        // The secretary reaches the top-level worker of the first AM in 1 hop.
+        g.add_edge(*ams.last().unwrap(), workers[0]).unwrap();
+
+        let mut p = PatternGraph::new();
+        let pb = p.add_named_node("B", Predicate::label("B"));
+        let pam = p.add_named_node("AM", Predicate::label("AM"));
+        let ps = p.add_named_node(
+            "S",
+            Predicate::label("AM").and("secretary", CmpOp::Eq, true),
+        );
+        let pfw = p.add_named_node("FW", Predicate::label("FW"));
+        p.add_edge(pb, pam, EdgeBound::ONE).unwrap();
+        p.add_edge(pb, ps, EdgeBound::ONE).unwrap();
+        p.add_edge(pam, pfw, EdgeBound::Hops(3)).unwrap();
+        p.add_edge(ps, pfw, EdgeBound::ONE).unwrap();
+        p.add_edge(pfw, pam, EdgeBound::Hops(3)).unwrap();
+        (g, p)
+    }
+
+    #[test]
+    fn empty_pattern_matches_trivially() {
+        let g = DataGraph::new();
+        let p = PatternGraph::new();
+        let out = bounded_simulation(&p, &g);
+        assert_eq!(out.relation.pattern_node_count(), 0);
+        assert!(!out.stats.failed_early);
+    }
+
+    #[test]
+    fn single_node_pattern() {
+        let (g, _) = DataGraphBuilder::new()
+            .labeled_node("A")
+            .labeled_node("B")
+            .labeled_node("A2")
+            .node("A2", Attributes::labeled("A"))
+            .build()
+            .unwrap();
+        let (p, _) = PatternGraphBuilder::new().labeled_node("A").build().unwrap();
+        let out = bounded_simulation(&p, &g);
+        assert!(out.is_match(&p));
+        assert_eq!(out.relation.matches_of(pn(0)).len(), 2);
+
+        let (p2, _) = PatternGraphBuilder::new().labeled_node("Z").build().unwrap();
+        let out2 = bounded_simulation(&p2, &g);
+        assert!(!out2.is_match(&p2));
+        assert!(out2.stats.failed_early);
+    }
+
+    #[test]
+    fn simple_bounded_edge() {
+        // a -> b -> c, pattern A -[2]-> C matches; with bound 1 it does not.
+        let (g, _) = DataGraphBuilder::new()
+            .labeled_node("A")
+            .labeled_node("B")
+            .labeled_node("C")
+            .path(&["A", "B", "C"])
+            .build()
+            .unwrap();
+        let (p2, _) = PatternGraphBuilder::new()
+            .labeled_node("A")
+            .labeled_node("C")
+            .edge("A", "C", 2u32)
+            .build()
+            .unwrap();
+        let out = bounded_simulation(&p2, &g);
+        assert!(out.is_match(&p2));
+        assert_eq!(out.relation.matches_of(pn(0)), &[dn(0)]);
+        assert_eq!(out.relation.matches_of(pn(1)), &[dn(2)]);
+
+        let (p1, _) = PatternGraphBuilder::new()
+            .labeled_node("A")
+            .labeled_node("C")
+            .edge("A", "C", 1u32)
+            .build()
+            .unwrap();
+        let out = bounded_simulation(&p1, &g);
+        assert!(!out.is_match(&p1));
+        assert!(out.relation.is_empty());
+    }
+
+    #[test]
+    fn unbounded_edge_uses_reachability() {
+        // a -> b -> c -> d; pattern A -*-> D.
+        let (g, _) = DataGraphBuilder::new()
+            .labeled_node("A")
+            .labeled_node("B")
+            .labeled_node("C")
+            .labeled_node("D")
+            .path(&["A", "B", "C", "D"])
+            .build()
+            .unwrap();
+        let (p, _) = PatternGraphBuilder::new()
+            .labeled_node("A")
+            .labeled_node("D")
+            .unbounded_edge("A", "D")
+            .build()
+            .unwrap();
+        let out = bounded_simulation(&p, &g);
+        assert!(out.is_match(&p));
+    }
+
+    #[test]
+    fn nonempty_path_requirement_on_cycles() {
+        // Pattern A -[1]-> A requires a data node labelled A with an edge to
+        // a node labelled A: a self-loop qualifies, an isolated node doesn't.
+        let mut g = DataGraph::new();
+        let a0 = g.add_node(Attributes::labeled("A"));
+        let _a1 = g.add_node(Attributes::labeled("A"));
+        g.add_edge(a0, a0).unwrap();
+
+        let mut p = PatternGraph::new();
+        let ua = p.add_node(Predicate::label("A"));
+        let ub = p.add_node(Predicate::label("A"));
+        p.add_edge(ua, ub, EdgeBound::ONE).unwrap();
+
+        let out = bounded_simulation(&p, &g);
+        assert!(out.is_match(&p));
+        // Only the self-loop node can match the source; both can match the sink.
+        assert_eq!(out.relation.matches_of(ua), &[a0]);
+        assert!(out.relation.contains(ub, a0));
+    }
+
+    #[test]
+    fn example_1_1_matches_expected_nodes() {
+        let (g, p) = example_1_1(4);
+        let out = bounded_simulation(&p, &g);
+        assert!(out.is_match(&p), "P0 should match G0");
+        // B matches only the boss.
+        assert_eq!(out.relation.matches_of(pn(0)), &[dn(0)]);
+        // AM matches all the A_i (the S pattern node maps to the AM that is
+        // also the secretary).
+        assert_eq!(out.relation.matches_of(pn(1)).len(), 4);
+        assert_eq!(out.relation.matches_of(pn(2)).len(), 1);
+        // Every FW node is matched to the FW pattern node.
+        let fw_nodes = g
+            .nodes()
+            .filter(|&v| g.attributes(v).label() == Some("FW"))
+            .count();
+        assert_eq!(out.relation.matches_of(pn(3)).len(), fw_nodes);
+        // The relation satisfies the definition.
+        let m = DistanceMatrix::build(&g);
+        assert!(out.relation.is_valid_match(&p, &g, &m));
+    }
+
+    #[test]
+    fn oracles_agree_on_example() {
+        let (g, p) = example_1_1(5);
+        let matrix = DistanceMatrix::build(&g);
+        let bfs = BfsOracle::new();
+        let two_hop = TwoHopOracle::build(&g);
+        let a = bounded_simulation_with_oracle(&p, &g, &matrix);
+        let b = bounded_simulation_with_oracle(&p, &g, &bfs);
+        let c = bounded_simulation_with_oracle(&p, &g, &two_hop);
+        assert_eq!(a.relation, b.relation);
+        assert_eq!(a.relation, c.relation);
+    }
+
+    #[test]
+    fn removing_critical_edge_breaks_match() {
+        // Mirrors Example 2.2(3): dropping the only witness edge kills the match.
+        let (mut g, names) = DataGraphBuilder::new()
+            .labeled_node("CS")
+            .labeled_node("Bio")
+            .labeled_node("Soc")
+            .path(&["CS", "Bio", "Soc"])
+            .build()
+            .unwrap();
+        let (p, _) = PatternGraphBuilder::new()
+            .labeled_node("CS")
+            .labeled_node("Soc")
+            .edge("CS", "Soc", 3u32)
+            .build()
+            .unwrap();
+        assert!(bounded_simulation(&p, &g).is_match(&p));
+        g.remove_edge(names["CS"], names["Bio"]).unwrap();
+        let out = bounded_simulation(&p, &g);
+        assert!(!out.is_match(&p));
+        assert!(out.relation.is_empty());
+    }
+
+    #[test]
+    fn predicates_filter_candidates() {
+        let mut g = DataGraph::new();
+        let good = g.add_node(Attributes::labeled("Music").with("rate", 4.8));
+        let bad = g.add_node(Attributes::labeled("Music").with("rate", 2.0));
+        let target = g.add_node(Attributes::labeled("People"));
+        g.add_edge(good, target).unwrap();
+        g.add_edge(bad, target).unwrap();
+
+        let mut p = PatternGraph::new();
+        let u0 = p.add_node(Predicate::label("Music").and("rate", CmpOp::Gt, 4.5));
+        let u1 = p.add_node(Predicate::label("People"));
+        p.add_edge(u0, u1, EdgeBound::Hops(2)).unwrap();
+
+        let out = bounded_simulation(&p, &g);
+        assert!(out.is_match(&p));
+        assert_eq!(out.relation.matches_of(u0), &[good]);
+        assert_eq!(out.relation.matches_of(u1), &[target]);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let (g, p) = example_1_1(3);
+        let out = bounded_simulation(&p, &g);
+        assert!(out.stats.initial_candidates > 0);
+        assert!(!out.stats.failed_early);
+        // The out-degree-zero pre-filter plus refinement removed nothing
+        // essential, but some removals/decrements may have happened; just
+        // check consistency.
+        assert!(out.stats.removed_candidates <= out.stats.initial_candidates);
+    }
+
+    #[test]
+    fn maximality_every_surviving_pair_is_necessary() {
+        // For a small example, check that the computed relation is maximal:
+        // adding any non-member candidate pair that satisfies the predicate
+        // creates an invalid relation.
+        let (g, p) = example_1_1(3);
+        let out = bounded_simulation(&p, &g);
+        let m = DistanceMatrix::build(&g);
+        assert!(out.relation.is_valid_match(&p, &g, &m));
+        for u in p.node_ids() {
+            for v in g.nodes() {
+                if out.relation.contains(u, v) || !g.satisfies(v, p.predicate(u)) {
+                    continue;
+                }
+                let mut bigger = out.relation.clone();
+                bigger.insert(u, v);
+                assert!(
+                    !bigger.is_valid_match(&p, &g, &m),
+                    "adding ({u}, {v}) should violate the match conditions"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! Plain graph simulation (Henzinger, Henzinger & Kopke, FOCS 1995).
+//!
+//! Graph simulation is the special case of bounded simulation in which every
+//! pattern edge is mapped edge-to-edge (bound 1) — Remark (2) in Section 2.2.
+//! The paper cites its `O((|V| + |V_p|)(|E| + |E_p|))` complexity as the
+//! reference point for `Match`; having a dedicated implementation lets the
+//! test-suite confirm the "special case" claim and gives the benches a
+//! baseline for the ablation study.
+//!
+//! The algorithm below is the standard HHK refinement specialised to a
+//! pattern/data-graph pair: per pattern edge `(u, u')` and candidate `x` of
+//! `u` we count the successors of `x` currently matching `u'`; when a node is
+//! removed from `mat(u')` the counters of its graph-predecessors are
+//! decremented and zero counters trigger further removals.
+
+use crate::bounded_sim::{MatchOutcome, MatchStats};
+use crate::match_relation::MatchRelation;
+use gpm_graph::{DataGraph, NodeId, PatternGraph, PatternNodeId};
+
+/// Computes the maximum graph simulation of `pattern` in `graph`
+/// (edge-to-edge semantics; edge bounds in the pattern are ignored).
+pub fn graph_simulation(pattern: &PatternGraph, graph: &DataGraph) -> MatchOutcome {
+    let np = pattern.node_count();
+    let nv = graph.node_count();
+    let mut stats = MatchStats::default();
+
+    if np == 0 {
+        return MatchOutcome::default();
+    }
+
+    let mut member: Vec<Vec<bool>> = vec![vec![false; nv]; np];
+    let mut live: Vec<usize> = vec![0; np];
+    for u in pattern.node_ids() {
+        let needs_successor = pattern.out_degree(u) > 0;
+        for v in graph.nodes_satisfying(pattern.predicate(u)) {
+            if needs_successor && graph.out_degree(v) == 0 {
+                continue;
+            }
+            member[u.index()][v.index()] = true;
+            live[u.index()] += 1;
+        }
+        stats.initial_candidates += live[u.index()];
+        if live[u.index()] == 0 {
+            stats.failed_early = true;
+            return MatchOutcome {
+                relation: MatchRelation::empty(np),
+                stats,
+            };
+        }
+    }
+
+    // counters[e][x] = number of successors of x currently in mat(to(e)).
+    //
+    // Counters are computed against the initial candidate sets; removals
+    // detected during initialisation are deferred so every later removal of a
+    // witness corresponds to exactly one decrement.
+    let edges: Vec<_> = pattern.edges().copied().collect();
+    let mut counters: Vec<Vec<u32>> = vec![vec![0; nv]; edges.len()];
+    let mut worklist: Vec<(PatternNodeId, NodeId)> = Vec::new();
+    let mut pending: Vec<(PatternNodeId, NodeId)> = Vec::new();
+
+    for (ei, e) in edges.iter().enumerate() {
+        let from = e.from.index();
+        let to = e.to.index();
+        for x in 0..nv {
+            if !member[from][x] {
+                continue;
+            }
+            let xv = NodeId::new(x as u32);
+            let count = graph
+                .out_neighbors(xv)
+                .iter()
+                .filter(|y| member[to][y.index()])
+                .count() as u32;
+            counters[ei][x] = count;
+            if count == 0 {
+                pending.push((e.from, xv));
+            }
+        }
+    }
+    for (u, x) in pending {
+        if member[u.index()][x.index()] {
+            member[u.index()][x.index()] = false;
+            live[u.index()] -= 1;
+            stats.removed_candidates += 1;
+            worklist.push((u, x));
+            if live[u.index()] == 0 {
+                stats.failed_early = true;
+                return MatchOutcome {
+                    relation: MatchRelation::empty(np),
+                    stats,
+                };
+            }
+        }
+    }
+
+    let mut in_edge_indices: Vec<Vec<usize>> = vec![Vec::new(); np];
+    for (ei, e) in edges.iter().enumerate() {
+        in_edge_indices[e.to.index()].push(ei);
+    }
+
+    while let Some((u, y)) = worklist.pop() {
+        for &ei in &in_edge_indices[u.index()] {
+            let e = &edges[ei];
+            let parent = e.from.index();
+            // Only graph-predecessors of y can lose a successor witness.
+            for &x in graph.in_neighbors(y) {
+                if !member[parent][x.index()] {
+                    continue;
+                }
+                stats.counter_decrements += 1;
+                debug_assert!(counters[ei][x.index()] > 0);
+                counters[ei][x.index()] -= 1;
+                if counters[ei][x.index()] == 0 {
+                    member[parent][x.index()] = false;
+                    live[parent] -= 1;
+                    stats.removed_candidates += 1;
+                    worklist.push((e.from, x));
+                    if live[parent] == 0 {
+                        stats.failed_early = true;
+                        return MatchOutcome {
+                            relation: MatchRelation::empty(np),
+                            stats,
+                        };
+                    }
+                }
+            }
+        }
+    }
+
+    let sets: Vec<Vec<NodeId>> = member
+        .iter()
+        .map(|row| {
+            row.iter()
+                .enumerate()
+                .filter(|&(_x, &alive)| alive).map(|(x, &_alive)| NodeId::new(x as u32))
+                .collect()
+        })
+        .collect();
+    MatchOutcome {
+        relation: MatchRelation::from_sets(sets),
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounded_sim::bounded_simulation;
+    use gpm_graph::{Attributes, DataGraphBuilder, EdgeBound, PatternGraphBuilder, Predicate};
+    use rand::rngs::StdRng;
+    use rand::{Rng as _, SeedableRng as _};
+
+    #[test]
+    fn simple_simulation() {
+        // a -> b, pattern A -> B: matches; pattern B -> A does not.
+        let (g, names) = DataGraphBuilder::new()
+            .labeled_node("A")
+            .labeled_node("B")
+            .edge("A", "B")
+            .build()
+            .unwrap();
+        let (p, pids) = PatternGraphBuilder::new()
+            .labeled_node("A")
+            .labeled_node("B")
+            .edge("A", "B", 1u32)
+            .build()
+            .unwrap();
+        let out = graph_simulation(&p, &g);
+        assert!(out.is_match(&p));
+        assert_eq!(out.relation.matches_of(pids["A"]), &[names["A"]]);
+        assert_eq!(out.relation.matches_of(pids["B"]), &[names["B"]]);
+
+        let (p2, _) = PatternGraphBuilder::new()
+            .labeled_node("B")
+            .labeled_node("A")
+            .edge("B", "A", 1u32)
+            .build()
+            .unwrap();
+        assert!(!graph_simulation(&p2, &g).is_match(&p2));
+    }
+
+    #[test]
+    fn simulation_maps_one_pattern_node_to_many() {
+        // Star: hub -> leaf1, leaf2; pattern Hub -> Leaf.
+        let (g, _) = DataGraphBuilder::new()
+            .labeled_node("Hub")
+            .node("l1", Attributes::labeled("Leaf"))
+            .node("l2", Attributes::labeled("Leaf"))
+            .edge("Hub", "l1")
+            .edge("Hub", "l2")
+            .build()
+            .unwrap();
+        let (p, pids) = PatternGraphBuilder::new()
+            .labeled_node("Hub")
+            .labeled_node("Leaf")
+            .edge("Hub", "Leaf", 1u32)
+            .build()
+            .unwrap();
+        let out = graph_simulation(&p, &g);
+        assert_eq!(out.relation.matches_of(pids["Leaf"]).len(), 2);
+    }
+
+    #[test]
+    fn cycle_pattern_requires_cycle_in_data() {
+        let (p, _) = PatternGraphBuilder::new()
+            .labeled_node("A")
+            .labeled_node("B")
+            .edge("A", "B", 1u32)
+            .edge("B", "A", 1u32)
+            .build()
+            .unwrap();
+
+        // Data: a -> b (no edge back) — no simulation.
+        let (g1, _) = DataGraphBuilder::new()
+            .labeled_node("A")
+            .labeled_node("B")
+            .edge("A", "B")
+            .build()
+            .unwrap();
+        assert!(!graph_simulation(&p, &g1).is_match(&p));
+
+        // Data: a <-> b — simulation exists.
+        let (g2, _) = DataGraphBuilder::new()
+            .labeled_node("A")
+            .labeled_node("B")
+            .edge("A", "B")
+            .edge("B", "A")
+            .build()
+            .unwrap();
+        assert!(graph_simulation(&p, &g2).is_match(&p));
+    }
+
+    fn random_labelled_instance(
+        seed: u64,
+    ) -> (gpm_graph::DataGraph, gpm_graph::PatternGraph) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let labels = ["A", "B", "C"];
+        let n = rng.gen_range(3..12usize);
+        let mut g = gpm_graph::DataGraph::new();
+        for _ in 0..n {
+            g.add_node(Attributes::labeled(labels[rng.gen_range(0..labels.len())]));
+        }
+        for _ in 0..rng.gen_range(0..n * 3) {
+            let a = NodeId::new(rng.gen_range(0..n as u32));
+            let b = NodeId::new(rng.gen_range(0..n as u32));
+            let _ = g.try_add_edge(a, b);
+        }
+        let mut p = gpm_graph::PatternGraph::new();
+        let pn = rng.gen_range(1..4usize);
+        for _ in 0..pn {
+            p.add_node(Predicate::label(labels[rng.gen_range(0..labels.len())]));
+        }
+        for _ in 0..rng.gen_range(0..pn * 2) {
+            let a = PatternNodeId::new(rng.gen_range(0..pn as u32));
+            let b = PatternNodeId::new(rng.gen_range(0..pn as u32));
+            if a != b {
+                let _ = p.add_edge(a, b, EdgeBound::ONE);
+            }
+        }
+        (g, p)
+    }
+
+    /// Remark (2) of Section 2.2: with unit bounds, bounded simulation and
+    /// graph simulation coincide.
+    #[test]
+    fn coincides_with_bounded_simulation_on_unit_bounds() {
+        for seed in 0..60u64 {
+            let (g, p) = random_labelled_instance(seed);
+            let sim = graph_simulation(&p, &g);
+            let bounded = bounded_simulation(&p, &g);
+            assert_eq!(sim.relation, bounded.relation, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn empty_pattern() {
+        let g = gpm_graph::DataGraph::new();
+        let p = gpm_graph::PatternGraph::new();
+        let out = graph_simulation(&p, &g);
+        assert_eq!(out.relation.pattern_node_count(), 0);
+    }
+}

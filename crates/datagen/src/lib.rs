@@ -1,0 +1,35 @@
+//! # gpm-datagen
+//!
+//! Workload generators for the evaluation of Section 5 of the paper:
+//!
+//! * [`random_graph`] — the synthetic data graphs (the paper used the C++
+//!   Boost generator with three parameters: node count, edge count and a set
+//!   of node attributes);
+//! * [`powerlaw`] — preferential-attachment digraphs used as the backbone of
+//!   the simulated real-life datasets;
+//! * [`datasets`] — simulated **Matter**, **PBlog** and **YouTube** graphs
+//!   with the node/edge counts and attribute schemas reported in the paper
+//!   (the actual crawls are not redistributable; DESIGN.md documents the
+//!   substitution);
+//! * [`pattern_gen`] — the pattern generator of the appendix (parameters
+//!   `|V_p|`, `|E_p|`, bound `k`, data graph `G`, biased towards positive
+//!   patterns);
+//! * [`updates`] — random edge insertion/deletion streams for the incremental
+//!   experiments (Figures 6(i)–(k)).
+//!
+//! All generators are deterministic given a seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod pattern_gen;
+pub mod powerlaw;
+pub mod random_graph;
+pub mod updates;
+
+pub use datasets::{Dataset, DatasetSpec};
+pub use pattern_gen::{generate_pattern, PatternGenConfig};
+pub use powerlaw::{powerlaw_graph, PowerLawConfig};
+pub use random_graph::{random_graph, RandomGraphConfig};
+pub use updates::{random_updates, UpdateStreamConfig};

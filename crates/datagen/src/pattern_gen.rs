@@ -1,0 +1,316 @@
+//! The pattern generator of the paper's appendix.
+//!
+//! "A pattern generator takes 4 parameters for generating a pattern
+//! `P = (V_p, E_p)`: the number of nodes `|V_p|`, the number of edges
+//! `|E_p|`, an upper bound `k` for pattern edges, and a data graph `G`. The
+//! generator was designed towards producing positive patterns, i.e. the graph
+//! `G` matches the pattern `P`."
+//!
+//! The construction follows the appendix:
+//!
+//! 1. pattern nodes are anchored to data nodes: `v_1` is built from a random
+//!    data node `x_1`; every later `v_i` is built from a node `x_i` found by
+//!    walking at most `k'` hops from the anchor `x_j` of an existing pattern
+//!    node `v_j` (`k - c <= k' <= k`), and the edge `(v_j, v_i)` gets bound
+//!    `k'` (or `*` with a small probability);
+//! 2. once the spanning structure has `|V_p| - 1` edges, extra edges between
+//!    random pattern node pairs are added until `|E_p|` is reached (these do
+//!    not preserve positiveness, exactly as in the paper).
+//!
+//! Node predicates are derived from the anchor's attributes so the anchor
+//! itself always satisfies them.
+
+use gpm_graph::{
+    AttrValue, CmpOp, DataGraph, EdgeBound, NodeId, PatternGraph, PatternNodeId, Predicate,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the pattern generator, mirroring the appendix's
+/// `P(|V_p|, |E_p|, k)` notation plus the small constants it leaves implicit.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PatternGenConfig {
+    /// Number of pattern nodes `|V_p|`.
+    pub nodes: usize,
+    /// Number of pattern edges `|E_p|` (at least `nodes - 1` is used to form
+    /// the positive spanning structure; fewer requested edges are clamped).
+    pub edges: usize,
+    /// The upper bound `k` on pattern-edge bounds.
+    pub max_bound: u32,
+    /// The small constant `c`: bounds are drawn from `[max(1, k - c), k]`.
+    pub bound_variation: u32,
+    /// Probability that an edge is unbounded (`*`) instead of bounded.
+    pub unbounded_probability: f64,
+    /// Probability of adding a second atom to a node predicate.
+    pub second_atom_probability: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl PatternGenConfig {
+    /// The paper's `P(|V_p|, |E_p|, k)` with default small constants.
+    pub fn new(nodes: usize, edges: usize, max_bound: u32) -> Self {
+        PatternGenConfig {
+            nodes,
+            edges,
+            max_bound: max_bound.max(1),
+            bound_variation: 2,
+            unbounded_probability: 0.1,
+            second_atom_probability: 0.3,
+            seed: 0,
+        }
+    }
+
+    /// Sets the RNG seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Generates a pattern for `graph` according to `config`.
+///
+/// Returns the pattern and, for each pattern node, the data node it was
+/// anchored to (useful for diagnostics; the anchor satisfies the node's
+/// predicate by construction).
+pub fn generate_pattern(graph: &DataGraph, config: &PatternGenConfig) -> (PatternGraph, Vec<NodeId>) {
+    assert!(config.nodes >= 1, "a pattern needs at least one node");
+    assert!(
+        graph.node_count() > 0,
+        "cannot anchor a pattern in an empty data graph"
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut pattern = PatternGraph::new();
+    let mut anchors: Vec<NodeId> = Vec::with_capacity(config.nodes);
+
+    // (1) Anchored spanning structure.
+    let x1 = NodeId::new(rng.gen_range(0..graph.node_count() as u32));
+    let p1 = pattern.add_node(predicate_from_anchor(graph, x1, config, &mut rng));
+    anchors.push(x1);
+
+    for _ in 1..config.nodes {
+        let (base_idx, anchor, bound) = pick_anchor_by_walk(graph, &anchors, config, &mut rng);
+        let pid = pattern.add_node(predicate_from_anchor(graph, anchor, config, &mut rng));
+        anchors.push(anchor);
+        let base = PatternNodeId::new(base_idx as u32);
+        let bound = maybe_unbounded(bound, config, &mut rng);
+        pattern
+            .add_edge(base, pid, bound)
+            .expect("spanning edges are unique by construction");
+    }
+    let _ = p1;
+
+    // (2) Extra edges between random pattern node pairs.
+    let target_edges = config.edges.max(config.nodes.saturating_sub(1));
+    let max_possible = config.nodes * (config.nodes - 1);
+    let target_edges = target_edges.min(max_possible);
+    let mut attempts = 0usize;
+    while pattern.edge_count() < target_edges && attempts < target_edges * 50 + 100 {
+        attempts += 1;
+        let a = PatternNodeId::new(rng.gen_range(0..config.nodes as u32));
+        let b = PatternNodeId::new(rng.gen_range(0..config.nodes as u32));
+        if a == b || pattern.has_edge(a, b) {
+            continue;
+        }
+        let bound = maybe_unbounded(draw_bound(config, &mut rng), config, &mut rng);
+        let _ = pattern.add_edge(a, b, bound);
+    }
+
+    (pattern, anchors)
+}
+
+/// Draws a bound `k'` with `max(1, k - c) <= k' <= k`.
+fn draw_bound(config: &PatternGenConfig, rng: &mut StdRng) -> u32 {
+    let low = config.max_bound.saturating_sub(config.bound_variation).max(1);
+    rng.gen_range(low..=config.max_bound)
+}
+
+fn maybe_unbounded(bound: u32, config: &PatternGenConfig, rng: &mut StdRng) -> EdgeBound {
+    if rng.gen_bool(config.unbounded_probability) {
+        EdgeBound::Unbounded
+    } else {
+        EdgeBound::Hops(bound)
+    }
+}
+
+/// Walks at most `k'` hops out of the anchor of a random existing pattern
+/// node, returning `(base pattern node index, reached data node, k')`.
+///
+/// If every walk dead-ends on the base anchor itself, a uniformly random data
+/// node is returned instead (the pattern may then be negative, as in the
+/// paper's step (2)).
+fn pick_anchor_by_walk(
+    graph: &DataGraph,
+    anchors: &[NodeId],
+    config: &PatternGenConfig,
+    rng: &mut StdRng,
+) -> (usize, NodeId, u32) {
+    for _ in 0..8 {
+        let base_idx = rng.gen_range(0..anchors.len());
+        let start = anchors[base_idx];
+        let hops = draw_bound(config, rng);
+        let mut current = start;
+        let mut best: Option<NodeId> = None;
+        for _ in 0..hops {
+            let outs = graph.out_neighbors(current);
+            if outs.is_empty() {
+                break;
+            }
+            current = outs[rng.gen_range(0..outs.len())];
+            if current != start {
+                best = Some(current);
+                // Stop early sometimes so shorter walks also occur.
+                if rng.gen_bool(0.35) {
+                    break;
+                }
+            }
+        }
+        if let Some(found) = best {
+            return (base_idx, found, hops);
+        }
+    }
+    let fallback = NodeId::new(rng.gen_range(0..graph.node_count() as u32));
+    let base_idx = rng.gen_range(0..anchors.len());
+    (base_idx, fallback, config.max_bound)
+}
+
+/// Builds a predicate the anchor node satisfies: one equality/comparison atom
+/// over a random attribute, optionally a second one.
+fn predicate_from_anchor(
+    graph: &DataGraph,
+    anchor: NodeId,
+    config: &PatternGenConfig,
+    rng: &mut StdRng,
+) -> Predicate {
+    let attrs: Vec<(&str, &AttrValue)> = graph.attributes(anchor).iter().collect();
+    if attrs.is_empty() {
+        return Predicate::any();
+    }
+    let mut pred = Predicate::any();
+    let first = rng.gen_range(0..attrs.len());
+    pred = add_atom_for(pred, attrs[first].0, attrs[first].1, rng);
+    if attrs.len() > 1 && rng.gen_bool(config.second_atom_probability) {
+        let mut second = rng.gen_range(0..attrs.len());
+        if second == first {
+            second = (second + 1) % attrs.len();
+        }
+        pred = add_atom_for(pred, attrs[second].0, attrs[second].1, rng);
+    }
+    pred
+}
+
+fn add_atom_for(pred: Predicate, key: &str, value: &AttrValue, rng: &mut StdRng) -> Predicate {
+    match value {
+        AttrValue::Str(_) | AttrValue::Bool(_) => pred.and(key, CmpOp::Eq, value.clone()),
+        AttrValue::Int(_) | AttrValue::Float(_) => {
+            // A comparison the anchor satisfies: <=, >= or = its own value.
+            let op = match rng.gen_range(0..3) {
+                0 => CmpOp::Le,
+                1 => CmpOp::Ge,
+                _ => CmpOp::Eq,
+            };
+            pred.and(key, op, value.clone())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random_graph::{random_graph, RandomGraphConfig};
+
+    fn sample_graph(seed: u64) -> DataGraph {
+        random_graph(&RandomGraphConfig::new(300, 900, 15).with_seed(seed))
+    }
+
+    #[test]
+    fn produces_requested_shape() {
+        let g = sample_graph(1);
+        let cfg = PatternGenConfig::new(6, 8, 3).with_seed(2);
+        let (p, anchors) = generate_pattern(&g, &cfg);
+        assert_eq!(p.node_count(), 6);
+        assert_eq!(p.edge_count(), 8);
+        assert_eq!(anchors.len(), 6);
+    }
+
+    #[test]
+    fn edge_count_clamped_to_simple_digraph() {
+        let g = sample_graph(3);
+        let cfg = PatternGenConfig::new(3, 50, 2).with_seed(0);
+        let (p, _) = generate_pattern(&g, &cfg);
+        assert_eq!(p.node_count(), 3);
+        assert!(p.edge_count() <= 6);
+    }
+
+    #[test]
+    fn bounds_respect_k_and_variation() {
+        let g = sample_graph(5);
+        let cfg = PatternGenConfig {
+            unbounded_probability: 0.0,
+            ..PatternGenConfig::new(8, 12, 5).with_seed(9)
+        };
+        let (p, _) = generate_pattern(&g, &cfg);
+        for e in p.edges() {
+            let k = e.bound.hops().expect("no unbounded edges requested");
+            assert!((3..=5).contains(&k), "bound {k} outside [k-c, k]");
+        }
+    }
+
+    #[test]
+    fn unbounded_edges_appear_when_forced() {
+        let g = sample_graph(6);
+        let cfg = PatternGenConfig {
+            unbounded_probability: 1.0,
+            ..PatternGenConfig::new(5, 7, 4).with_seed(1)
+        };
+        let (p, _) = generate_pattern(&g, &cfg);
+        assert!(p.edges().all(|e| e.bound.is_unbounded()));
+    }
+
+    #[test]
+    fn anchors_satisfy_their_predicates() {
+        let g = sample_graph(7);
+        for seed in 0..10 {
+            let cfg = PatternGenConfig::new(5, 6, 3).with_seed(seed);
+            let (p, anchors) = generate_pattern(&g, &cfg);
+            for (u, &anchor) in p.node_ids().zip(anchors.iter()) {
+                assert!(
+                    g.satisfies(anchor, p.predicate(u)),
+                    "anchor {anchor} violates predicate of {u} (seed {seed})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = sample_graph(8);
+        let cfg = PatternGenConfig::new(6, 9, 4).with_seed(77);
+        let (p1, a1) = generate_pattern(&g, &cfg);
+        let (p2, a2) = generate_pattern(&g, &cfg);
+        assert_eq!(a1, a2);
+        assert_eq!(p1.node_count(), p2.node_count());
+        assert_eq!(p1.edge_count(), p2.edge_count());
+        let e1: Vec<_> = p1.edges().collect();
+        let e2: Vec<_> = p2.edges().collect();
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn single_node_pattern() {
+        let g = sample_graph(9);
+        let cfg = PatternGenConfig::new(1, 0, 3).with_seed(4);
+        let (p, anchors) = generate_pattern(&g, &cfg);
+        assert_eq!(p.node_count(), 1);
+        assert_eq!(p.edge_count(), 0);
+        assert_eq!(anchors.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty data graph")]
+    fn empty_graph_panics() {
+        let g = DataGraph::new();
+        let cfg = PatternGenConfig::new(2, 1, 2);
+        let _ = generate_pattern(&g, &cfg);
+    }
+}

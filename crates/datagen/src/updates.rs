@@ -1,0 +1,187 @@
+//! Random update streams for the incremental experiments.
+//!
+//! Exp-3 applies lists of edge deletions and insertions (`|δ|` from 200 to
+//! 3200) to the YouTube graph and compares `IncMatch` against re-running
+//! `Match`. This module generates such streams: a configurable mix of
+//! deletions of existing edges and insertions of fresh edges, each update
+//! valid at the moment it is applied (the stream is generated against a
+//! scratch copy of the graph that replays the updates).
+
+use gpm_distance::EdgeUpdate;
+use gpm_graph::{DataGraph, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the update-stream generator.
+#[derive(Clone, Debug, PartialEq)]
+pub struct UpdateStreamConfig {
+    /// Total number of updates `|δ|`.
+    pub count: usize,
+    /// Fraction of updates that are insertions (0.0 = deletions only,
+    /// 1.0 = insertions only, 0.5 = the mixed workload of Fig. 6(i)).
+    pub insert_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl UpdateStreamConfig {
+    /// A mixed stream of `count` updates (half insertions, half deletions).
+    pub fn mixed(count: usize) -> Self {
+        UpdateStreamConfig {
+            count,
+            insert_fraction: 0.5,
+            seed: 0,
+        }
+    }
+
+    /// A deletions-only stream (Fig. 6(j)).
+    pub fn deletions(count: usize) -> Self {
+        UpdateStreamConfig {
+            count,
+            insert_fraction: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// An insertions-only stream (Fig. 6(k)).
+    pub fn insertions(count: usize) -> Self {
+        UpdateStreamConfig {
+            count,
+            insert_fraction: 1.0,
+            seed: 0,
+        }
+    }
+
+    /// Sets the RNG seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Generates a valid update stream for `graph`.
+///
+/// Every deletion removes an edge that exists at that point of the stream and
+/// every insertion adds an edge that does not; `graph` itself is not
+/// modified.
+pub fn random_updates(graph: &DataGraph, config: &UpdateStreamConfig) -> Vec<EdgeUpdate> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut scratch = graph.clone();
+    let n = scratch.node_count();
+    let mut updates = Vec::with_capacity(config.count);
+    if n == 0 {
+        return updates;
+    }
+    // Pool of existing edges for cheap random deletion picks.
+    let mut edge_pool: Vec<(NodeId, NodeId)> = scratch.edges().collect();
+    edge_pool.shuffle(&mut rng);
+
+    let mut attempts = 0usize;
+    let attempt_cap = config.count * 100 + 1_000;
+    while updates.len() < config.count && attempts < attempt_cap {
+        attempts += 1;
+        let want_insert = rng.gen_bool(config.insert_fraction);
+        if want_insert {
+            let a = NodeId::new(rng.gen_range(0..n as u32));
+            let b = NodeId::new(rng.gen_range(0..n as u32));
+            if scratch.has_edge(a, b) {
+                continue;
+            }
+            scratch.add_edge(a, b).expect("validated endpoints");
+            edge_pool.push((a, b));
+            updates.push(EdgeUpdate::Insert(a, b));
+        } else {
+            // Pop candidates until one that still exists is found.
+            let mut deleted = None;
+            while let Some((a, b)) = edge_pool.pop() {
+                if scratch.has_edge(a, b) {
+                    scratch.remove_edge(a, b).expect("edge exists");
+                    deleted = Some((a, b));
+                    break;
+                }
+            }
+            match deleted {
+                Some((a, b)) => updates.push(EdgeUpdate::Delete(a, b)),
+                None => {
+                    // No edges left to delete: fall back to insertions.
+                    if config.insert_fraction == 0.0 {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    updates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random_graph::{random_graph, RandomGraphConfig};
+
+    fn sample() -> DataGraph {
+        random_graph(&RandomGraphConfig::new(100, 400, 10).with_seed(3))
+    }
+
+    /// Replays a stream, asserting every update is valid when applied.
+    fn replay(graph: &DataGraph, updates: &[EdgeUpdate]) -> DataGraph {
+        let mut g = graph.clone();
+        for u in updates {
+            assert!(u.apply(&mut g), "update {u} was not applicable");
+        }
+        g
+    }
+
+    #[test]
+    fn mixed_stream_is_valid_and_sized() {
+        let g = sample();
+        let updates = random_updates(&g, &UpdateStreamConfig::mixed(200).with_seed(1));
+        assert_eq!(updates.len(), 200);
+        let inserts = updates.iter().filter(|u| u.is_insert()).count();
+        assert!(inserts > 50 && inserts < 150, "unbalanced mix: {inserts}");
+        replay(&g, &updates);
+    }
+
+    #[test]
+    fn deletion_only_stream() {
+        let g = sample();
+        let updates = random_updates(&g, &UpdateStreamConfig::deletions(150).with_seed(2));
+        assert_eq!(updates.len(), 150);
+        assert!(updates.iter().all(|u| !u.is_insert()));
+        let after = replay(&g, &updates);
+        assert_eq!(after.edge_count(), g.edge_count() - 150);
+    }
+
+    #[test]
+    fn insertion_only_stream() {
+        let g = sample();
+        let updates = random_updates(&g, &UpdateStreamConfig::insertions(150).with_seed(2));
+        assert_eq!(updates.len(), 150);
+        assert!(updates.iter().all(|u| u.is_insert()));
+        let after = replay(&g, &updates);
+        assert_eq!(after.edge_count(), g.edge_count() + 150);
+    }
+
+    #[test]
+    fn deletions_capped_by_available_edges() {
+        let g = random_graph(&RandomGraphConfig::new(10, 12, 2).with_seed(1));
+        let updates = random_updates(&g, &UpdateStreamConfig::deletions(500));
+        assert_eq!(updates.len(), 12);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = sample();
+        let a = random_updates(&g, &UpdateStreamConfig::mixed(50).with_seed(9));
+        let b = random_updates(&g, &UpdateStreamConfig::mixed(50).with_seed(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_graph_yields_no_updates() {
+        let g = DataGraph::new();
+        let updates = random_updates(&g, &UpdateStreamConfig::mixed(10));
+        assert!(updates.is_empty());
+    }
+}

@@ -1,0 +1,174 @@
+//! On-demand BFS distance oracle (the "BFS" variant of Exp-2).
+//!
+//! Instead of materialising the full `|V|²` matrix, this oracle runs a BFS
+//! from a source the first time that source is queried and memoises the row.
+//! It trades the `O(|V|(|V|+|E|))` preprocessing and quadratic memory of the
+//! matrix for per-query latency — exactly the trade-off the paper's "BFS"
+//! variant explores (Figures 6(e)–(h) show it losing once many pairs are
+//! queried, which is what `Match` does).
+
+use crate::oracle::DistanceOracle;
+use crate::UNREACHABLE;
+use gpm_graph::{DataGraph, NodeId};
+use parking_lot::Mutex;
+use rustc_hash::FxHashMap;
+use std::collections::VecDeque;
+
+/// A memoising BFS distance oracle.
+///
+/// Cloning the oracle clears nothing — the cache is shared per instance, not
+/// global — but the oracle is cheap to construct, so callers typically create
+/// one per (graph, pattern) matching run.
+#[derive(Debug, Default)]
+pub struct BfsOracle {
+    /// Memoised rows of non-empty distances, keyed by source node.
+    rows: Mutex<FxHashMap<NodeId, Vec<u16>>>,
+}
+
+impl BfsOracle {
+    /// Creates an empty oracle (no rows cached yet).
+    pub fn new() -> Self {
+        BfsOracle::default()
+    }
+
+    /// Number of sources whose BFS row is currently cached.
+    pub fn cached_sources(&self) -> usize {
+        self.rows.lock().len()
+    }
+
+    /// Drops every cached row. Call this after mutating the graph.
+    pub fn invalidate(&self) {
+        self.rows.lock().clear();
+    }
+
+    fn row_distance(&self, g: &DataGraph, from: NodeId, to: NodeId) -> u16 {
+        let mut rows = self.rows.lock();
+        let row = rows
+            .entry(from)
+            .or_insert_with(|| compute_nonempty_row(g, from));
+        row[to.index()]
+    }
+}
+
+/// One BFS from `from`, seeded at its out-neighbours, producing the full row
+/// of non-empty distances.
+fn compute_nonempty_row(g: &DataGraph, from: NodeId) -> Vec<u16> {
+    let mut row = vec![UNREACHABLE; g.node_count()];
+    let mut queue = VecDeque::new();
+    for &w in g.out_neighbors(from) {
+        if row[w.index()] == UNREACHABLE {
+            row[w.index()] = 1;
+            queue.push_back(w);
+        }
+    }
+    while let Some(v) = queue.pop_front() {
+        let d = row[v.index()];
+        for &w in g.out_neighbors(v) {
+            if row[w.index()] == UNREACHABLE {
+                row[w.index()] = d + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    row
+}
+
+impl DistanceOracle for BfsOracle {
+    fn nonempty_distance(&self, g: &DataGraph, from: NodeId, to: NodeId) -> Option<u32> {
+        match self.row_distance(g, from, to) {
+            UNREACHABLE => None,
+            d => Some(u32::from(d)),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "bfs"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::DistanceMatrix;
+    use gpm_graph::EdgeBound;
+    use proptest::prelude::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn sample() -> DataGraph {
+        let mut g = DataGraph::new();
+        g.add_nodes(5);
+        g.add_edge(n(0), n(1)).unwrap();
+        g.add_edge(n(1), n(2)).unwrap();
+        g.add_edge(n(2), n(0)).unwrap();
+        g.add_edge(n(2), n(3)).unwrap();
+        g
+    }
+
+    #[test]
+    fn distances_match_matrix() {
+        let g = sample();
+        let m = DistanceMatrix::build(&g);
+        let o = BfsOracle::new();
+        for x in g.nodes() {
+            for y in g.nodes() {
+                assert_eq!(
+                    o.nonempty_distance(&g, x, y),
+                    m.nonempty_distance(x, y),
+                    "mismatch at ({x}, {y})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn caching_and_invalidation() {
+        let g = sample();
+        let o = BfsOracle::new();
+        assert_eq!(o.cached_sources(), 0);
+        let _ = o.nonempty_distance(&g, n(0), n(3));
+        let _ = o.nonempty_distance(&g, n(0), n(4));
+        assert_eq!(o.cached_sources(), 1);
+        let _ = o.nonempty_distance(&g, n(2), n(1));
+        assert_eq!(o.cached_sources(), 2);
+        o.invalidate();
+        assert_eq!(o.cached_sources(), 0);
+    }
+
+    #[test]
+    fn within_bounds() {
+        let g = sample();
+        let o = BfsOracle::new();
+        assert!(o.within(&g, n(0), n(3), EdgeBound::Hops(3)));
+        assert!(!o.within(&g, n(0), n(3), EdgeBound::Hops(2)));
+        assert!(o.within(&g, n(0), n(0), EdgeBound::Unbounded)); // cycle through 0
+        assert!(!o.within(&g, n(3), n(3), EdgeBound::Unbounded)); // no cycle
+        assert_eq!(o.name(), "bfs");
+    }
+
+    proptest! {
+        /// BFS oracle and matrix agree on random graphs.
+        #[test]
+        fn prop_agrees_with_matrix(
+            nodes in 2usize..15,
+            edges in proptest::collection::vec((0u32..15, 0u32..15), 0..60)
+        ) {
+            let mut g = DataGraph::new();
+            g.add_nodes(nodes);
+            for (a, b) in edges {
+                if (a as usize) < nodes && (b as usize) < nodes {
+                    let _ = g.try_add_edge(n(a), n(b));
+                }
+            }
+            let m = DistanceMatrix::build(&g);
+            let o = BfsOracle::new();
+            for x in g.nodes() {
+                for y in g.nodes() {
+                    prop_assert_eq!(o.nonempty_distance(&g, x, y), m.nonempty_distance(x, y));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,726 @@
+//! Incremental maintenance of the distance matrix — the paper's `UpdateM`
+//! (unit updates) and `UpdateBM` (batch updates).
+//!
+//! Both procedures take the data graph *after* the update has been applied,
+//! patch the matrix in place and return `AFF1`: the set of source–sink pairs
+//! whose (non-empty) distance changed, together with the old and new values.
+//! `AFF1` is what drives `Match−`/`Match+`/`IncMatch` in `gpm-incremental`,
+//! and its size is the first factor of the `O(|AFF1| |AFF2|²)` bound of
+//! Theorem 4.1.
+//!
+//! Implementation notes (see DESIGN.md for the substitution rationale):
+//!
+//! * **insertion** of `(s, t)` can only shorten distances, and any new
+//!   shortest path uses the new edge exactly once, so
+//!   `new(x, y) = min(old(x, y), std(x, s) + 1 + std(t, y))` computed over
+//!   `ancestors(s) × descendants(t)` — work proportional to the affected
+//!   rectangle;
+//! * **deletion** of `(s, t)` can only lengthen distances and can only affect
+//!   pairs `(x, y)` whose old shortest path went through the deleted edge
+//!   (`std(x, s) + 1 + std(t, y) = old(x, y)`); the rows of those affected
+//!   sources are rebuilt with a BFS on the updated graph.
+
+use crate::matrix::DistanceMatrix;
+use crate::UNREACHABLE;
+use gpm_graph::{DataGraph, NodeId};
+use rustc_hash::FxHashSet;
+
+/// A single edge update applied to a data graph.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum EdgeUpdate {
+    /// Insert the edge `(from, to)`.
+    Insert(NodeId, NodeId),
+    /// Delete the edge `(from, to)`.
+    Delete(NodeId, NodeId),
+}
+
+impl EdgeUpdate {
+    /// The edge endpoints `(from, to)` of the update.
+    pub fn endpoints(&self) -> (NodeId, NodeId) {
+        match *self {
+            EdgeUpdate::Insert(a, b) | EdgeUpdate::Delete(a, b) => (a, b),
+        }
+    }
+
+    /// Whether this is an insertion.
+    pub fn is_insert(&self) -> bool {
+        matches!(self, EdgeUpdate::Insert(..))
+    }
+
+    /// Applies this update to `g`; returns `false` (and leaves `g` unchanged)
+    /// if it is a no-op (inserting an existing edge / deleting a missing one).
+    pub fn apply(&self, g: &mut DataGraph) -> bool {
+        match *self {
+            EdgeUpdate::Insert(a, b) => g.try_add_edge(a, b).unwrap_or(false),
+            EdgeUpdate::Delete(a, b) => g.remove_edge(a, b).is_ok(),
+        }
+    }
+
+    /// The inverse update (insert <-> delete of the same edge).
+    pub fn inverse(&self) -> EdgeUpdate {
+        match *self {
+            EdgeUpdate::Insert(a, b) => EdgeUpdate::Delete(a, b),
+            EdgeUpdate::Delete(a, b) => EdgeUpdate::Insert(a, b),
+        }
+    }
+}
+
+impl std::fmt::Display for EdgeUpdate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EdgeUpdate::Insert(a, b) => write!(f, "+({a}, {b})"),
+            EdgeUpdate::Delete(a, b) => write!(f, "-({a}, {b})"),
+        }
+    }
+}
+
+/// One entry of `AFF1`: the distance from `source` to `sink` changed from
+/// `old` to `new` (both in hops, `UNREACHABLE` = no path).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct AffectedPair {
+    /// The source of the affected pair.
+    pub source: NodeId,
+    /// The sink of the affected pair.
+    pub sink: NodeId,
+    /// The distance before the update.
+    pub old: u16,
+    /// The distance after the update.
+    pub new: u16,
+}
+
+impl AffectedPair {
+    /// Whether the distance increased (deletions) rather than decreased.
+    pub fn increased(&self) -> bool {
+        self.new > self.old
+    }
+}
+
+/// The set `AFF1` of node pairs whose pairwise distance changed.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AffectedPairs {
+    /// The affected pairs, in no particular order.
+    pub pairs: Vec<AffectedPair>,
+}
+
+impl AffectedPairs {
+    /// Number of affected source–sink pairs, `|AFF1|`.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether no pair was affected.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Iterates over the affected pairs.
+    pub fn iter(&self) -> impl Iterator<Item = &AffectedPair> {
+        self.pairs.iter()
+    }
+
+    /// Merges another `AFF1` into this one, keeping the earliest `old` value
+    /// and the latest `new` value for pairs affected more than once, and
+    /// dropping pairs whose distance ends up unchanged.
+    pub fn merge(&mut self, later: AffectedPairs) {
+        use rustc_hash::FxHashMap;
+        let mut by_pair: FxHashMap<(NodeId, NodeId), AffectedPair> = self
+            .pairs
+            .drain(..)
+            .map(|p| ((p.source, p.sink), p))
+            .collect();
+        for p in later.pairs {
+            by_pair
+                .entry((p.source, p.sink))
+                .and_modify(|existing| existing.new = p.new)
+                .or_insert(p);
+        }
+        self.pairs = by_pair
+            .into_values()
+            .filter(|p| p.old != p.new)
+            .collect();
+    }
+}
+
+/// `UpdateM`: maintains the distance matrix under a **single** edge update.
+///
+/// `g` must already reflect the update (edge inserted/removed); `matrix` must
+/// be the matrix of the graph *before* the update. Returns `AFF1`.
+pub fn update_matrix(
+    g: &DataGraph,
+    matrix: &mut DistanceMatrix,
+    update: EdgeUpdate,
+) -> AffectedPairs {
+    debug_assert_eq!(g.node_count(), matrix.node_count());
+    match update {
+        EdgeUpdate::Insert(s, t) => apply_insertion(g, matrix, s, t),
+        EdgeUpdate::Delete(s, t) => apply_deletion(g, matrix, s, t),
+    }
+}
+
+/// `UpdateBM`: maintains the distance matrix under a **batch** of edge
+/// updates, returning the combined `AFF1` (pairs whose distance differs
+/// between the state before the first update and after the last one).
+///
+/// `g` must reflect the state *after the whole batch*; `updates` lists the
+/// updates in application order.
+pub fn update_matrix_batch(
+    g: &DataGraph,
+    matrix: &mut DistanceMatrix,
+    updates: &[EdgeUpdate],
+) -> AffectedPairs {
+    // Replay the batch on a scratch copy of the graph so each unit update
+    // sees the right intermediate adjacency.
+    let mut combined = AffectedPairs::default();
+    if updates.is_empty() {
+        return combined;
+    }
+    // Reconstruct the pre-batch graph by undoing the updates in reverse.
+    let mut scratch = g.clone();
+    for u in updates.iter().rev() {
+        u.inverse().apply(&mut scratch);
+    }
+    for u in updates {
+        if !u.apply(&mut scratch) {
+            continue; // no-op update (duplicate insert / missing delete)
+        }
+        let aff = update_matrix(&scratch, matrix, *u);
+        combined.merge(aff);
+    }
+    combined
+}
+
+fn apply_insertion(
+    g: &DataGraph,
+    matrix: &mut DistanceMatrix,
+    s: NodeId,
+    t: NodeId,
+) -> AffectedPairs {
+    debug_assert!(g.has_edge(s, t), "graph must already contain the new edge");
+    let n = g.node_count();
+    let mut affected = Vec::new();
+
+    // Only pairs (x, y) with x an ancestor of s and y a descendant of t can
+    // improve, and x only matters if its distance *to t itself* improves
+    // (otherwise `x → s → t → y` cannot beat the existing route for any y):
+    // dist(x, t) > dist(x, s) + 1.
+    let sinks: Vec<(NodeId, u16)> = (0..n as u32)
+        .map(NodeId::new)
+        .filter_map(|y| {
+            let d = if y == t { 0 } else { matrix.get(t, y) };
+            (d != UNREACHABLE).then_some((y, d))
+        })
+        .collect();
+
+    for xi in 0..n as u32 {
+        let x = NodeId::new(xi);
+        let dx = if x == s { 0 } else { matrix.get(x, s) };
+        if dx == UNREACHABLE {
+            continue;
+        }
+        let to_t = matrix.get(x, t);
+        if u32::from(to_t) <= u32::from(dx) + 1 {
+            continue; // no improvement possible through the new edge
+        }
+        for &(y, dy) in &sinks {
+            let via = u32::from(dx) + 1 + u32::from(dy);
+            let via = if via >= u32::from(UNREACHABLE) {
+                UNREACHABLE - 1
+            } else {
+                via as u16
+            };
+            let old = matrix.get(x, y);
+            if via < old {
+                matrix.set(x, y, via);
+                affected.push(AffectedPair {
+                    source: x,
+                    sink: y,
+                    old,
+                    new: via,
+                });
+            }
+        }
+    }
+    AffectedPairs { pairs: affected }
+}
+
+fn apply_deletion(
+    g: &DataGraph,
+    matrix: &mut DistanceMatrix,
+    s: NodeId,
+    t: NodeId,
+) -> AffectedPairs {
+    debug_assert!(
+        !g.has_edge(s, t),
+        "graph must no longer contain the deleted edge"
+    );
+    let n = g.node_count();
+    let mut affected = Vec::new();
+
+    // A pair (x, y) can only be affected if *every* old shortest path from x
+    // to y went through the deleted edge, which forces
+    //   old(x, y) = std_old(x, s) + 1 + std_old(t, y),
+    // and in that case the distance from s to y itself must change as well.
+    // So: (1) rebuild the row of s with one BFS and diff it to obtain the set
+    // D of truly affected sinks; (2) repair each sink in D independently with
+    // a Dijkstra-style pass over its candidate sources (the Ramalingam–Reps
+    // deletion repair), touching only work proportional to the affected area.
+    let old_from_t: Vec<u16> = (0..n as u32)
+        .map(|yi| {
+            let y = NodeId::new(yi);
+            if y == t {
+                0
+            } else {
+                matrix.get(t, y)
+            }
+        })
+        .collect();
+    let changed_sinks: Vec<NodeId> = matrix
+        .rebuild_row(g, s)
+        .into_iter()
+        .map(|(sink, old, new)| {
+            affected.push(AffectedPair {
+                source: s,
+                sink,
+                old,
+                new,
+            });
+            sink
+        })
+        .collect();
+    if changed_sinks.is_empty() {
+        return AffectedPairs { pairs: affected };
+    }
+    // Candidate sources: nodes with a finite (old) distance to s. The column
+    // of s is never modified by the per-sink repairs (no shortest path to s
+    // can use the edge (s, t)), so reading it here is safe.
+    let sources_to_s: Vec<(NodeId, u16)> = (0..n as u32)
+        .map(NodeId::new)
+        .filter(|&x| x != s)
+        .filter_map(|x| {
+            let d = matrix.get(x, s);
+            (d != UNREACHABLE).then_some((x, d))
+        })
+        .collect();
+
+    for &y in &changed_sinks {
+        let from_t = old_from_t[y.index()];
+        if from_t == UNREACHABLE {
+            continue;
+        }
+        repair_sink_after_deletion(g, matrix, y, from_t, &sources_to_s, &mut affected);
+    }
+    AffectedPairs { pairs: affected }
+}
+
+/// Repairs the column of sink `y` after the deletion of `(s, t)`.
+///
+/// `sources_to_s` holds every node with a finite standard distance to `s`
+/// (the only possible affected sources); `from_t` is the old standard
+/// distance from `t` to `y`. Non-candidate nodes keep provably correct
+/// values and act as the fixed boundary of a Dijkstra-like repair.
+fn repair_sink_after_deletion(
+    g: &DataGraph,
+    matrix: &mut DistanceMatrix,
+    y: NodeId,
+    from_t: u16,
+    sources_to_s: &[(NodeId, u16)],
+    affected: &mut Vec<AffectedPair>,
+) {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    // Affected-source candidates for this sink: old(x, y) = to_s + 1 + from_t.
+    let mut candidates: Vec<NodeId> = Vec::new();
+    for &(x, to_s) in sources_to_s {
+        let old = matrix.get(x, y);
+        if old != UNREACHABLE && u32::from(old) == u32::from(to_s) + 1 + u32::from(from_t) {
+            candidates.push(x);
+        }
+    }
+    if candidates.is_empty() {
+        return;
+    }
+    // Membership / finalization bookkeeping local to the candidate set.
+    let mut in_repair: FxHashSet<NodeId> = candidates.iter().copied().collect();
+    let mut finalized: FxHashSet<NodeId> = FxHashSet::default();
+
+    // Standard distance from `w` to `y` using only provably-correct values
+    // (boundary nodes and already-finalized candidates).
+    let std_to_y = |w: NodeId,
+                    matrix: &DistanceMatrix,
+                    in_repair: &FxHashSet<NodeId>,
+                    finalized: &FxHashSet<NodeId>|
+     -> Option<u32> {
+        if w == y {
+            return Some(0);
+        }
+        if in_repair.contains(&w) && !finalized.contains(&w) {
+            return None;
+        }
+        match matrix.get(w, y) {
+            UNREACHABLE => None,
+            d => Some(u32::from(d)),
+        }
+    };
+
+    let mut heap: BinaryHeap<Reverse<(u32, NodeId)>> = BinaryHeap::new();
+    for &x in &candidates {
+        let mut best = None;
+        for &w in g.out_neighbors(x) {
+            if let Some(d) = std_to_y(w, matrix, &in_repair, &finalized) {
+                let via = d + 1;
+                if best.map_or(true, |b| via < b) {
+                    best = Some(via);
+                }
+            }
+        }
+        if let Some(b) = best {
+            heap.push(Reverse((b, x)));
+        }
+    }
+
+    while let Some(Reverse((dist, x))) = heap.pop() {
+        if finalized.contains(&x) {
+            continue;
+        }
+        // Lazy-deletion Dijkstra: verify the entry is still the best known.
+        let mut best = None;
+        for &w in g.out_neighbors(x) {
+            if let Some(d) = std_to_y(w, matrix, &in_repair, &finalized) {
+                let via = d + 1;
+                if best.map_or(true, |b| via < b) {
+                    best = Some(via);
+                }
+            }
+        }
+        let Some(best) = best else { continue };
+        if best > dist {
+            heap.push(Reverse((best, x)));
+            continue;
+        }
+        finalized.insert(x);
+        let new = if best >= u32::from(UNREACHABLE) {
+            UNREACHABLE - 1
+        } else {
+            best as u16
+        };
+        let old = matrix.get(x, y);
+        if new != old {
+            matrix.set(x, y, new);
+            affected.push(AffectedPair {
+                source: x,
+                sink: y,
+                old,
+                new,
+            });
+        }
+        // Relax candidate predecessors of x.
+        for &p in g.in_neighbors(x) {
+            if in_repair.contains(&p) && !finalized.contains(&p) {
+                heap.push(Reverse((u32::from(new) + 1, p)));
+            }
+        }
+    }
+
+    // Candidates never finalized are no longer able to reach y at all.
+    in_repair.retain(|x| !finalized.contains(x));
+    for x in in_repair {
+        let old = matrix.get(x, y);
+        if old != UNREACHABLE {
+            matrix.set(x, y, UNREACHABLE);
+            affected.push(AffectedPair {
+                source: x,
+                sink: y,
+                old,
+                new: UNREACHABLE,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom as _;
+    use rand::{Rng as _, SeedableRng as _};
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn path_graph(len: u32) -> DataGraph {
+        let mut g = DataGraph::new();
+        g.add_nodes(len as usize);
+        for i in 0..len - 1 {
+            g.add_edge(n(i), n(i + 1)).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn edge_update_helpers() {
+        let mut g = path_graph(3);
+        let ins = EdgeUpdate::Insert(n(2), n(0));
+        let del = EdgeUpdate::Delete(n(0), n(1));
+        assert_eq!(ins.endpoints(), (n(2), n(0)));
+        assert!(ins.is_insert());
+        assert!(!del.is_insert());
+        assert_eq!(ins.inverse(), EdgeUpdate::Delete(n(2), n(0)));
+        assert_eq!(ins.to_string(), "+(v2, v0)");
+        assert_eq!(del.to_string(), "-(v0, v1)");
+        assert!(ins.apply(&mut g));
+        assert!(!ins.apply(&mut g)); // duplicate insert is a no-op
+        assert!(del.apply(&mut g));
+        assert!(!del.apply(&mut g)); // already deleted
+    }
+
+    #[test]
+    fn insertion_creates_shortcut() {
+        // 0 -> 1 -> 2 -> 3; insert 0 -> 3.
+        let mut g = path_graph(4);
+        let mut m = DistanceMatrix::build(&g);
+        assert_eq!(m.nonempty_distance(n(0), n(3)), Some(3));
+
+        let update = EdgeUpdate::Insert(n(0), n(3));
+        update.apply(&mut g);
+        let aff = update_matrix(&g, &mut m, update);
+
+        assert_eq!(m.nonempty_distance(n(0), n(3)), Some(1));
+        assert_eq!(m, DistanceMatrix::build(&g));
+        assert!(aff.iter().any(|p| p.source == n(0) && p.sink == n(3) && !p.increased()));
+    }
+
+    #[test]
+    fn insertion_creating_cycle_updates_diagonal() {
+        // 0 -> 1 -> 2; insert 2 -> 0 closing a cycle.
+        let mut g = path_graph(3);
+        let mut m = DistanceMatrix::build(&g);
+        assert_eq!(m.nonempty_distance(n(0), n(0)), None);
+
+        let update = EdgeUpdate::Insert(n(2), n(0));
+        update.apply(&mut g);
+        let aff = update_matrix(&g, &mut m, update);
+
+        assert_eq!(m, DistanceMatrix::build(&g));
+        assert_eq!(m.nonempty_distance(n(0), n(0)), Some(3));
+        assert_eq!(m.nonempty_distance(n(2), n(1)), Some(2));
+        assert!(!aff.is_empty());
+    }
+
+    #[test]
+    fn deletion_disconnects() {
+        // 0 -> 1 -> 2 -> 3; delete 1 -> 2.
+        let mut g = path_graph(4);
+        let mut m = DistanceMatrix::build(&g);
+
+        let update = EdgeUpdate::Delete(n(1), n(2));
+        update.apply(&mut g);
+        let aff = update_matrix(&g, &mut m, update);
+
+        assert_eq!(m, DistanceMatrix::build(&g));
+        assert_eq!(m.nonempty_distance(n(0), n(3)), None);
+        assert!(aff
+            .iter()
+            .any(|p| p.source == n(0) && p.sink == n(3) && p.increased()));
+        // Pairs not using the edge are untouched.
+        assert!(!aff.iter().any(|p| p.source == n(2)));
+    }
+
+    #[test]
+    fn deletion_with_alternative_path() {
+        // 0 -> 1 -> 3 and 0 -> 2 -> 3; deleting 1 -> 3 keeps dist(0,3) = 2.
+        let mut g = DataGraph::new();
+        g.add_nodes(4);
+        g.add_edge(n(0), n(1)).unwrap();
+        g.add_edge(n(1), n(3)).unwrap();
+        g.add_edge(n(0), n(2)).unwrap();
+        g.add_edge(n(2), n(3)).unwrap();
+        let mut m = DistanceMatrix::build(&g);
+
+        let update = EdgeUpdate::Delete(n(1), n(3));
+        update.apply(&mut g);
+        let aff = update_matrix(&g, &mut m, update);
+
+        assert_eq!(m, DistanceMatrix::build(&g));
+        assert_eq!(m.nonempty_distance(n(0), n(3)), Some(2));
+        // dist(0, 3) did not change; only (1, 3) got worse.
+        assert!(aff.iter().all(|p| p.source != n(0) || p.sink != n(3)));
+        assert!(aff.iter().any(|p| p.source == n(1) && p.sink == n(3)));
+    }
+
+    #[test]
+    fn affected_pairs_merge() {
+        let mut a = AffectedPairs {
+            pairs: vec![AffectedPair {
+                source: n(0),
+                sink: n(1),
+                old: 3,
+                new: 5,
+            }],
+        };
+        let b = AffectedPairs {
+            pairs: vec![
+                AffectedPair {
+                    source: n(0),
+                    sink: n(1),
+                    old: 5,
+                    new: 3,
+                },
+                AffectedPair {
+                    source: n(2),
+                    sink: n(3),
+                    old: UNREACHABLE,
+                    new: 1,
+                },
+            ],
+        };
+        a.merge(b);
+        // (0,1) went 3 -> 5 -> 3: net unchanged, dropped.
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.pairs[0].source, n(2));
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn batch_update_equals_recompute() {
+        let mut g = path_graph(6);
+        g.add_edge(n(5), n(0)).unwrap();
+        let mut m = DistanceMatrix::build(&g);
+        let before = m.clone();
+
+        let updates = vec![
+            EdgeUpdate::Insert(n(0), n(3)),
+            EdgeUpdate::Delete(n(2), n(3)),
+            EdgeUpdate::Insert(n(3), n(1)),
+            EdgeUpdate::Delete(n(5), n(0)),
+        ];
+        for u in &updates {
+            u.apply(&mut g);
+        }
+        let aff = update_matrix_batch(&g, &mut m, &updates);
+        assert_eq!(m, DistanceMatrix::build(&g));
+
+        // AFF1 lists exactly the pairs whose distance differs from before.
+        for p in aff.iter() {
+            assert_ne!(before.get(p.source, p.sink), m.get(p.source, p.sink));
+            assert_eq!(p.old, before.get(p.source, p.sink));
+            assert_eq!(p.new, m.get(p.source, p.sink));
+        }
+        for x in g.nodes() {
+            for y in g.nodes() {
+                if before.get(x, y) != m.get(x, y) {
+                    assert!(
+                        aff.iter().any(|p| p.source == x && p.sink == y),
+                        "changed pair ({x},{y}) missing from AFF1"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_with_noop_updates() {
+        let mut g = path_graph(3);
+        let mut m = DistanceMatrix::build(&g);
+        // Deleting a non-existent edge and re-inserting an existing one are
+        // both no-ops and must not corrupt the matrix.
+        let updates = vec![
+            EdgeUpdate::Delete(n(2), n(0)),
+            EdgeUpdate::Insert(n(0), n(1)),
+        ];
+        let aff = update_matrix_batch(&g, &mut m, &updates);
+        assert!(aff.is_empty());
+        assert_eq!(m, DistanceMatrix::build(&g));
+        let _ = &mut g;
+    }
+
+    #[test]
+    fn empty_batch() {
+        let g = path_graph(3);
+        let mut m = DistanceMatrix::build(&g);
+        let aff = update_matrix_batch(&g, &mut m, &[]);
+        assert!(aff.is_empty());
+    }
+
+    fn random_graph_and_updates(
+        seed: u64,
+        nodes: usize,
+        edges: usize,
+        updates: usize,
+    ) -> (DataGraph, Vec<EdgeUpdate>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = DataGraph::new();
+        g.add_nodes(nodes);
+        while g.edge_count() < edges {
+            let a = rng.gen_range(0..nodes as u32);
+            let b = rng.gen_range(0..nodes as u32);
+            let _ = g.try_add_edge(n(a), n(b));
+        }
+        let mut scratch = g.clone();
+        let mut ups = Vec::new();
+        for _ in 0..updates {
+            if rng.gen_bool(0.5) && scratch.edge_count() > 0 {
+                // Delete a random existing edge.
+                let edges: Vec<_> = scratch.edges().collect();
+                let &(a, b) = edges.choose(&mut rng).unwrap();
+                let u = EdgeUpdate::Delete(a, b);
+                u.apply(&mut scratch);
+                ups.push(u);
+            } else {
+                let a = n(rng.gen_range(0..nodes as u32));
+                let b = n(rng.gen_range(0..nodes as u32));
+                if !scratch.has_edge(a, b) {
+                    let u = EdgeUpdate::Insert(a, b);
+                    u.apply(&mut scratch);
+                    ups.push(u);
+                }
+            }
+        }
+        (g, ups)
+    }
+
+    #[test]
+    fn randomized_unit_updates_match_recompute() {
+        for seed in 0..8u64 {
+            let (mut g, updates) = random_graph_and_updates(seed, 14, 30, 12);
+            let mut m = DistanceMatrix::build(&g);
+            for u in updates {
+                if !u.apply(&mut g) {
+                    continue;
+                }
+                update_matrix(&g, &mut m, u);
+                assert_eq!(m, DistanceMatrix::build(&g), "seed {seed}, update {u}");
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        /// After an arbitrary batch, the incrementally maintained matrix
+        /// equals a from-scratch rebuild, and AFF1 is exactly the changed set.
+        #[test]
+        fn prop_batch_matches_recompute(seed in 0u64..500) {
+            let (mut g, updates) = random_graph_and_updates(seed, 12, 24, 8);
+            let mut m = DistanceMatrix::build(&g);
+            let before = m.clone();
+            for u in &updates {
+                u.apply(&mut g);
+            }
+            let aff = update_matrix_batch(&g, &mut m, &updates);
+            let rebuilt = DistanceMatrix::build(&g);
+            prop_assert_eq!(&m, &rebuilt);
+            let mut changed = 0usize;
+            for x in g.nodes() {
+                for y in g.nodes() {
+                    if before.get(x, y) != rebuilt.get(x, y) {
+                        changed += 1;
+                        prop_assert!(aff.iter().any(|p| p.source == x && p.sink == y));
+                    }
+                }
+            }
+            prop_assert_eq!(changed, aff.len());
+        }
+    }
+}

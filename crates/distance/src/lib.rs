@@ -1,0 +1,49 @@
+//! # gpm-distance
+//!
+//! Distance oracles for bounded-simulation graph pattern matching.
+//!
+//! The `Match` algorithm of Fan et al. (VLDB 2010) decides, for a pattern
+//! edge `(u, u')` with bound `k`, whether a data node `x` has a *non-empty*
+//! path of length `<= k` to some node matching `u'`. All of that reduces to
+//! queries of the form "what is the length of the shortest **non-empty** path
+//! from `x` to `y`?", which this crate answers through three interchangeable
+//! oracles (the three variants compared in Exp-2 of the paper):
+//!
+//! * [`DistanceMatrix`] — the paper's distance matrix `M`: all-pairs
+//!   non-empty shortest distances, `O(|V|(|V|+|E|))` to build, `O(1)` to
+//!   query ("Match" in the figures);
+//! * [`BfsOracle`] — on-demand BFS with per-source memoisation ("BFS");
+//! * [`TwoHopIndex`] / [`TwoHopOracle`] — a pruned 2-hop reachability/distance
+//!   labeling used as a filter in front of BFS ("2-hop").
+//!
+//! It also provides the **incremental shortest-path maintenance** the
+//! incremental matching algorithms rely on: [`update_matrix`] (the paper's
+//! `UpdateM`, unit updates) and [`update_matrix_batch`] (`UpdateBM`, batch
+//! updates), both reporting the set of affected source–sink pairs (`AFF1`).
+//!
+//! ## Non-empty distances
+//!
+//! Bounded simulation requires witness paths of length `>= 1`, so the
+//! distance from a node to itself is the length of the shortest cycle through
+//! it (or "unreachable" if it lies on no cycle), not 0. Everything in this
+//! crate works with that convention; standard distances are available where
+//! needed via [`DistanceMatrix::standard_distance`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bfs_oracle;
+pub mod incremental;
+pub mod matrix;
+pub mod oracle;
+pub mod two_hop;
+
+pub use bfs_oracle::BfsOracle;
+pub use incremental::{update_matrix, update_matrix_batch, AffectedPairs, EdgeUpdate};
+pub use matrix::DistanceMatrix;
+pub use oracle::DistanceOracle;
+pub use two_hop::{TwoHopIndex, TwoHopOracle};
+
+/// Hop count representing "no path"; distances are stored as `u16` because
+/// no graph in this workload family has a diameter anywhere near 65k hops.
+pub const UNREACHABLE: u16 = u16::MAX;

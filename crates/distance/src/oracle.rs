@@ -1,0 +1,107 @@
+//! The common interface of the distance back-ends.
+//!
+//! The matching algorithms in `gpm-core` are generic over a
+//! [`DistanceOracle`], which lets Exp-2's three variants (distance matrix,
+//! on-demand BFS, 2-hop-filtered BFS) share one matching implementation and
+//! makes the ablation benches a one-liner.
+
+use crate::matrix::DistanceMatrix;
+use gpm_graph::{DataGraph, EdgeBound, NodeId};
+
+/// Answers non-empty shortest-path queries over a fixed data graph.
+///
+/// Implementations may cache internally (hence `&self` methods may use
+/// interior mutability), but must stay consistent with the graph they were
+/// created for: mutating the graph invalidates the oracle unless the oracle
+/// documents otherwise.
+pub trait DistanceOracle {
+    /// Length of the shortest **non-empty** path from `from` to `to`, or
+    /// `None` if there is none.
+    fn nonempty_distance(&self, g: &DataGraph, from: NodeId, to: NodeId) -> Option<u32>;
+
+    /// Whether some non-empty path from `from` to `to` satisfies `bound`.
+    ///
+    /// The default implementation asks for the full distance; back-ends that
+    /// can terminate early for bounded queries should override it.
+    fn within(&self, g: &DataGraph, from: NodeId, to: NodeId, bound: EdgeBound) -> bool {
+        match (self.nonempty_distance(g, from, to), bound) {
+            (None, _) => false,
+            (Some(_), EdgeBound::Unbounded) => true,
+            (Some(d), EdgeBound::Hops(k)) => d <= k,
+        }
+    }
+
+    /// A short label used in benchmark output ("matrix", "bfs", "2-hop"...).
+    fn name(&self) -> &'static str;
+}
+
+impl DistanceOracle for DistanceMatrix {
+    #[inline]
+    fn nonempty_distance(&self, _g: &DataGraph, from: NodeId, to: NodeId) -> Option<u32> {
+        DistanceMatrix::nonempty_distance(self, from, to)
+    }
+
+    #[inline]
+    fn within(&self, _g: &DataGraph, from: NodeId, to: NodeId, bound: EdgeBound) -> bool {
+        match bound {
+            EdgeBound::Hops(k) => self.within_hops(from, to, k),
+            EdgeBound::Unbounded => self.reachable(from, to),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "matrix"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn line() -> DataGraph {
+        let mut g = DataGraph::new();
+        g.add_nodes(4);
+        g.add_edge(n(0), n(1)).unwrap();
+        g.add_edge(n(1), n(2)).unwrap();
+        g.add_edge(n(2), n(3)).unwrap();
+        g
+    }
+
+    #[test]
+    fn matrix_implements_oracle() {
+        let g = line();
+        let m = DistanceMatrix::build(&g);
+        let oracle: &dyn DistanceOracle = &m;
+        assert_eq!(oracle.nonempty_distance(&g, n(0), n(3)), Some(3));
+        assert_eq!(oracle.nonempty_distance(&g, n(3), n(0)), None);
+        assert!(oracle.within(&g, n(0), n(3), EdgeBound::Hops(3)));
+        assert!(!oracle.within(&g, n(0), n(3), EdgeBound::Hops(2)));
+        assert!(oracle.within(&g, n(0), n(3), EdgeBound::Unbounded));
+        assert!(!oracle.within(&g, n(3), n(0), EdgeBound::Unbounded));
+        assert_eq!(oracle.name(), "matrix");
+    }
+
+    #[test]
+    fn default_within_is_consistent_with_distance() {
+        // Exercise the trait's default `within` using a thin wrapper oracle.
+        struct Wrapper(DistanceMatrix);
+        impl DistanceOracle for Wrapper {
+            fn nonempty_distance(&self, _g: &DataGraph, a: NodeId, b: NodeId) -> Option<u32> {
+                self.0.nonempty_distance(a, b)
+            }
+            fn name(&self) -> &'static str {
+                "wrapper"
+            }
+        }
+        let g = line();
+        let w = Wrapper(DistanceMatrix::build(&g));
+        assert!(w.within(&g, n(0), n(2), EdgeBound::Hops(2)));
+        assert!(!w.within(&g, n(0), n(2), EdgeBound::Hops(1)));
+        assert!(w.within(&g, n(0), n(2), EdgeBound::Unbounded));
+        assert!(!w.within(&g, n(2), n(0), EdgeBound::Unbounded));
+    }
+}

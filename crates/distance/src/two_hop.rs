@@ -1,0 +1,407 @@
+//! 2-hop (hub) labeling — the "2-hop" variant of Exp-2.
+//!
+//! The paper's 2-hop variant of `Match` uses the reachability labels of
+//! Cohen et al. / Cheng et al. as a *filter*: if the labels show that `x`
+//! cannot reach `y` at all, the pair is discarded in constant time; otherwise
+//! a BFS computes the exact distance (appendix, "2-hop labeling").
+//!
+//! Constructing a minimum 2-hop cover is NP-hard, so — as documented in
+//! DESIGN.md — we build the labels with a **pruned landmark labeling**
+//! (degree-descending landmark order, pruned forward/backward BFS). The
+//! result is a correct, exact 2-hop distance/reachability labeling with the
+//! same query interface; only the cover-construction heuristic differs from
+//! the cited work.
+
+use crate::oracle::DistanceOracle;
+use crate::UNREACHABLE;
+use gpm_graph::{DataGraph, NodeId};
+use std::collections::VecDeque;
+
+/// A hub label entry: `(hub rank, distance in hops)`.
+type LabelEntry = (u32, u16);
+
+/// An exact 2-hop distance/reachability labeling of a data graph.
+///
+/// For every node `v` the index stores
+/// * `label_out(v)`: hubs `h` reachable *from* `v`, with `dist(v → h)`;
+/// * `label_in(v)`: hubs `h` that reach `v`, with `dist(h → v)`.
+///
+/// `dist(x, y) = min over common hubs h of dist(x → h) + dist(h → y)`.
+#[derive(Clone, Debug)]
+pub struct TwoHopIndex {
+    /// Outgoing hub labels per node, sorted by hub rank.
+    label_out: Vec<Vec<LabelEntry>>,
+    /// Incoming hub labels per node, sorted by hub rank.
+    label_in: Vec<Vec<LabelEntry>>,
+    /// Non-empty distance from each node to itself (shortest cycle length).
+    diagonal: Vec<u16>,
+}
+
+impl TwoHopIndex {
+    /// Builds the labeling for `g`.
+    ///
+    /// Landmarks are processed in descending total-degree order, which keeps
+    /// label sizes small on the skewed-degree graphs of the evaluation.
+    pub fn build(g: &DataGraph) -> Self {
+        let n = g.node_count();
+        let mut order: Vec<NodeId> = g.nodes().collect();
+        order.sort_by_key(|&v| (std::cmp::Reverse(g.total_degree(v)), v));
+
+        let mut label_out: Vec<Vec<LabelEntry>> = vec![Vec::new(); n];
+        let mut label_in: Vec<Vec<LabelEntry>> = vec![Vec::new(); n];
+
+        // Scratch buffers reused across landmarks.
+        let mut dist = vec![UNREACHABLE; n];
+        let mut queue = VecDeque::new();
+
+        for (rank, &hub) in order.iter().enumerate() {
+            let rank = rank as u32;
+            // Forward pruned BFS: label_in of reached nodes.
+            let labelled = pruned_bfs(
+                g,
+                hub,
+                Direction::Forward,
+                &label_out,
+                &label_in,
+                &mut dist,
+                &mut queue,
+            );
+            for (v, d) in labelled {
+                label_in[v.index()].push((rank, d));
+            }
+
+            // Backward pruned BFS: label_out of nodes reaching the hub.
+            let labelled = pruned_bfs(
+                g,
+                hub,
+                Direction::Backward,
+                &label_out,
+                &label_in,
+                &mut dist,
+                &mut queue,
+            );
+            for (v, d) in labelled {
+                label_out[v.index()].push((rank, d));
+            }
+        }
+
+        let mut index = TwoHopIndex {
+            label_out,
+            label_in,
+            diagonal: vec![UNREACHABLE; n],
+        };
+        // Non-empty diagonal: the shortest cycle through v is
+        // 1 + min over out-neighbours s of dist(s, v).
+        for v in g.nodes() {
+            let mut best = UNREACHABLE;
+            for &s in g.out_neighbors(v) {
+                let d = if s == v {
+                    0 // self-loop: cycle of length 1
+                } else {
+                    index.standard_distance_raw(s, v)
+                };
+                if d != UNREACHABLE {
+                    best = best.min(d.saturating_add(1));
+                }
+            }
+            index.diagonal[v.index()] = best;
+        }
+        index
+    }
+
+    /// Standard distance (diagonal 0) between two nodes, `None` if `y` is not
+    /// reachable from `x`.
+    pub fn standard_distance(&self, x: NodeId, y: NodeId) -> Option<u32> {
+        match self.standard_distance_raw(x, y) {
+            UNREACHABLE => None,
+            d => Some(u32::from(d)),
+        }
+    }
+
+    /// Non-empty distance between two nodes (diagonal = shortest cycle).
+    pub fn nonempty_distance(&self, x: NodeId, y: NodeId) -> Option<u32> {
+        let d = if x == y {
+            self.diagonal[x.index()]
+        } else {
+            self.standard_distance_raw(x, y)
+        };
+        match d {
+            UNREACHABLE => None,
+            d => Some(u32::from(d)),
+        }
+    }
+
+    /// Whether a non-empty path from `x` to `y` exists, answered from the
+    /// labels alone (the "filter" the paper describes).
+    pub fn reachable(&self, x: NodeId, y: NodeId) -> bool {
+        if x == y {
+            self.diagonal[x.index()] != UNREACHABLE
+        } else {
+            self.standard_distance_raw(x, y) != UNREACHABLE
+        }
+    }
+
+    /// Total number of label entries (a proxy for index size).
+    pub fn label_entries(&self) -> usize {
+        self.label_out.iter().map(Vec::len).sum::<usize>()
+            + self.label_in.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// Average number of label entries per node.
+    pub fn average_label_size(&self) -> f64 {
+        if self.label_out.is_empty() {
+            return 0.0;
+        }
+        self.label_entries() as f64 / self.label_out.len() as f64
+    }
+
+    fn standard_distance_raw(&self, x: NodeId, y: NodeId) -> u16 {
+        if x == y {
+            return 0;
+        }
+        merge_min(&self.label_out[x.index()], &self.label_in[y.index()])
+    }
+}
+
+/// Merge-join of two rank-sorted label lists, returning the minimal distance
+/// sum over common hubs.
+fn merge_min(out: &[LabelEntry], inc: &[LabelEntry]) -> u16 {
+    let mut best = UNREACHABLE;
+    let (mut i, mut j) = (0, 0);
+    while i < out.len() && j < inc.len() {
+        match out[i].0.cmp(&inc[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                let sum = out[i].1.saturating_add(inc[j].1);
+                best = best.min(sum);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    best
+}
+
+enum Direction {
+    Forward,
+    Backward,
+}
+
+/// Pruned BFS from `hub` following out-edges (`Forward`) or in-edges
+/// (`Backward`). Returns the nodes that should receive a label for this hub,
+/// with their distances. `dist` is scratch space and is fully reset before
+/// returning.
+fn pruned_bfs(
+    g: &DataGraph,
+    hub: NodeId,
+    direction: Direction,
+    label_out: &[Vec<LabelEntry>],
+    label_in: &[Vec<LabelEntry>],
+    dist: &mut [u16],
+    queue: &mut VecDeque<NodeId>,
+) -> Vec<(NodeId, u16)> {
+    queue.clear();
+    dist[hub.index()] = 0;
+    queue.push_back(hub);
+    let mut visited: Vec<NodeId> = vec![hub];
+    let mut labelled: Vec<(NodeId, u16)> = Vec::new();
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v.index()];
+        // Prune if labels from higher-ranked hubs already certify `<= d`.
+        let already = match direction {
+            Direction::Forward => merge_min(&label_out[hub.index()], &label_in[v.index()]),
+            Direction::Backward => merge_min(&label_out[v.index()], &label_in[hub.index()]),
+        };
+        if already <= d {
+            continue;
+        }
+        labelled.push((v, d));
+        let neighbours = match direction {
+            Direction::Forward => g.out_neighbors(v),
+            Direction::Backward => g.in_neighbors(v),
+        };
+        for &w in neighbours {
+            if dist[w.index()] == UNREACHABLE {
+                dist[w.index()] = d + 1;
+                visited.push(w);
+                queue.push_back(w);
+            }
+        }
+    }
+    for v in visited {
+        dist[v.index()] = UNREACHABLE;
+    }
+    labelled
+}
+
+/// [`DistanceOracle`] built on a [`TwoHopIndex`], mirroring the paper's
+/// implementation: labels answer the reachability filter, and a BFS computes
+/// the exact distance only for reachable pairs.
+#[derive(Debug)]
+pub struct TwoHopOracle {
+    index: TwoHopIndex,
+    bfs: crate::bfs_oracle::BfsOracle,
+}
+
+impl TwoHopOracle {
+    /// Builds the labeling for `g` and wraps it as an oracle.
+    pub fn build(g: &DataGraph) -> Self {
+        TwoHopOracle {
+            index: TwoHopIndex::build(g),
+            bfs: crate::bfs_oracle::BfsOracle::new(),
+        }
+    }
+
+    /// Wraps an existing index.
+    pub fn from_index(index: TwoHopIndex) -> Self {
+        TwoHopOracle {
+            index,
+            bfs: crate::bfs_oracle::BfsOracle::new(),
+        }
+    }
+
+    /// The underlying labeling.
+    pub fn index(&self) -> &TwoHopIndex {
+        &self.index
+    }
+}
+
+impl DistanceOracle for TwoHopOracle {
+    fn nonempty_distance(&self, g: &DataGraph, from: NodeId, to: NodeId) -> Option<u32> {
+        // Filter on the labels first: unreachable pairs never hit the BFS.
+        if !self.index.reachable(from, to) {
+            return None;
+        }
+        self.bfs.nonempty_distance(g, from, to)
+    }
+
+    fn name(&self) -> &'static str {
+        "2-hop"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::DistanceMatrix;
+    use gpm_graph::EdgeBound;
+    use proptest::prelude::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn sample() -> DataGraph {
+        // Two components: a cycle 0-1-2 with a tail to 3, and isolated 4 -> 5.
+        let mut g = DataGraph::new();
+        g.add_nodes(6);
+        g.add_edge(n(0), n(1)).unwrap();
+        g.add_edge(n(1), n(2)).unwrap();
+        g.add_edge(n(2), n(0)).unwrap();
+        g.add_edge(n(2), n(3)).unwrap();
+        g.add_edge(n(4), n(5)).unwrap();
+        g
+    }
+
+    #[test]
+    fn exact_distances_match_matrix() {
+        let g = sample();
+        let m = DistanceMatrix::build(&g);
+        let idx = TwoHopIndex::build(&g);
+        for x in g.nodes() {
+            for y in g.nodes() {
+                assert_eq!(
+                    idx.nonempty_distance(x, y),
+                    m.nonempty_distance(x, y),
+                    "mismatch at ({x}, {y})"
+                );
+                assert_eq!(
+                    idx.standard_distance(x, y),
+                    m.standard_distance(x, y),
+                    "standard mismatch at ({x}, {y})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reachability_filter() {
+        let g = sample();
+        let idx = TwoHopIndex::build(&g);
+        assert!(idx.reachable(n(0), n(3)));
+        assert!(!idx.reachable(n(3), n(0)));
+        assert!(!idx.reachable(n(0), n(5)));
+        assert!(idx.reachable(n(0), n(0))); // on a cycle
+        assert!(!idx.reachable(n(3), n(3))); // not on a cycle
+    }
+
+    #[test]
+    fn label_size_statistics() {
+        let g = sample();
+        let idx = TwoHopIndex::build(&g);
+        assert!(idx.label_entries() > 0);
+        assert!(idx.average_label_size() > 0.0);
+    }
+
+    #[test]
+    fn oracle_agrees_with_index() {
+        let g = sample();
+        let o = TwoHopOracle::build(&g);
+        let m = DistanceMatrix::build(&g);
+        for x in g.nodes() {
+            for y in g.nodes() {
+                assert_eq!(o.nonempty_distance(&g, x, y), m.nonempty_distance(x, y));
+            }
+        }
+        assert!(o.within(&g, n(0), n(3), EdgeBound::Hops(3)));
+        assert!(!o.within(&g, n(0), n(5), EdgeBound::Unbounded));
+        assert_eq!(o.name(), "2-hop");
+        assert!(o.index().reachable(n(0), n(1)));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = DataGraph::new();
+        let idx = TwoHopIndex::build(&g);
+        assert_eq!(idx.label_entries(), 0);
+        assert_eq!(idx.average_label_size(), 0.0);
+    }
+
+    #[test]
+    fn self_loop_diagonal() {
+        let mut g = DataGraph::new();
+        g.add_nodes(2);
+        g.add_edge(n(0), n(0)).unwrap();
+        g.add_edge(n(0), n(1)).unwrap();
+        let idx = TwoHopIndex::build(&g);
+        assert_eq!(idx.nonempty_distance(n(0), n(0)), Some(1));
+        assert_eq!(idx.nonempty_distance(n(1), n(1)), None);
+    }
+
+    proptest! {
+        /// 2-hop labels give exactly the same distances as the matrix on
+        /// random graphs.
+        #[test]
+        fn prop_agrees_with_matrix(
+            nodes in 2usize..14,
+            edges in proptest::collection::vec((0u32..14, 0u32..14), 0..60)
+        ) {
+            let mut g = DataGraph::new();
+            g.add_nodes(nodes);
+            for (a, b) in edges {
+                if (a as usize) < nodes && (b as usize) < nodes {
+                    let _ = g.try_add_edge(n(a), n(b));
+                }
+            }
+            let m = DistanceMatrix::build(&g);
+            let idx = TwoHopIndex::build(&g);
+            for x in g.nodes() {
+                for y in g.nodes() {
+                    prop_assert_eq!(idx.nonempty_distance(x, y), m.nonempty_distance(x, y));
+                    prop_assert_eq!(idx.reachable(x, y), m.reachable(x, y));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! # gpm — Graph Pattern Matching via Bounded Simulation
+//!
+//! A Rust implementation of *"Graph Pattern Matching: From Intractable to
+//! Polynomial Time"* (Fan, Li, Ma, Tang, Wu & Wu, PVLDB 3(1), 2010).
+//!
+//! This facade crate re-exports the whole public API:
+//!
+//! | module | contents |
+//! |--------|----------|
+//! | [`graph`] | attributed data graphs, pattern graphs, predicates, traversals |
+//! | [`distance`] | distance matrix, BFS and 2-hop oracles, incremental shortest paths |
+//! | [`matching`] | the cubic-time `Match` (bounded simulation), graph simulation, result graphs |
+//! | [`incremental`] | `Match−`, `Match+`, `IncMatch`, and the `IncrementalMatcher` facade |
+//! | [`iso`] | subgraph-isomorphism baselines (Ullmann `SubIso`, VF2) |
+//! | [`datagen`] | synthetic graphs, simulated Matter/PBlog/YouTube datasets, pattern generator, update streams |
+//!
+//! The most common entry points are also re-exported at the crate root.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use gpm::{DataGraphBuilder, PatternGraphBuilder, bounded_simulation};
+//!
+//! // Build a tiny "who supervises whom" data graph.
+//! let (graph, _) = DataGraphBuilder::new()
+//!     .labeled_node("boss")
+//!     .labeled_node("manager")
+//!     .labeled_node("worker")
+//!     .path(&["boss", "manager", "worker"])
+//!     .build()
+//!     .unwrap();
+//!
+//! // Pattern: a boss connected to a worker within 2 hops.
+//! let (pattern, ids) = PatternGraphBuilder::new()
+//!     .labeled_node("boss")
+//!     .labeled_node("worker")
+//!     .edge("boss", "worker", 2u32)
+//!     .build()
+//!     .unwrap();
+//!
+//! let outcome = bounded_simulation(&pattern, &graph);
+//! assert!(outcome.relation.is_match(&pattern));
+//! assert_eq!(outcome.relation.matches_of(ids["worker"]).len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Attributed data graphs and pattern graphs (re-export of `gpm-graph`).
+pub mod graph {
+    pub use gpm_graph::*;
+}
+
+/// Distance oracles and incremental shortest paths (re-export of
+/// `gpm-distance`).
+pub mod distance {
+    pub use gpm_distance::*;
+}
+
+/// Bounded simulation, graph simulation and result graphs (re-export of
+/// `gpm-core`).
+pub mod matching {
+    pub use gpm_core::*;
+}
+
+/// Incremental matching (re-export of `gpm-incremental`).
+pub mod incremental {
+    pub use gpm_incremental::*;
+}
+
+/// Subgraph-isomorphism baselines (re-export of `gpm-iso`).
+pub mod iso {
+    pub use gpm_iso::*;
+}
+
+/// Workload generators and simulated datasets (re-export of `gpm-datagen`).
+pub mod datagen {
+    pub use gpm_datagen::*;
+}
+
+// Root-level convenience re-exports.
+pub use gpm_core::{
+    bounded_simulation, bounded_simulation_with_oracle, graph_simulation, MatchOutcome,
+    MatchRelation, MatchStats, ResultGraph,
+};
+pub use gpm_datagen::{
+    generate_pattern, random_graph, random_updates, Dataset, PatternGenConfig, RandomGraphConfig,
+    UpdateStreamConfig,
+};
+pub use gpm_distance::{
+    BfsOracle, DistanceMatrix, DistanceOracle, EdgeUpdate, TwoHopIndex, TwoHopOracle,
+};
+pub use gpm_graph::{
+    AttrValue, Attributes, CmpOp, DataGraph, DataGraphBuilder, EdgeBound, GraphError, NodeId,
+    PatternGraph, PatternGraphBuilder, PatternNodeId, Predicate,
+};
+pub use gpm_incremental::{inc_match, match_minus, match_plus, IncrementalMatcher, MatchState};
+pub use gpm_iso::{subgraph_isomorphism_ullmann, subgraph_isomorphism_vf2, IsoConfig, IsoOutcome};

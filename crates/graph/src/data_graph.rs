@@ -1,0 +1,517 @@
+//! The attributed data graph `G = (V, E, f_A)`.
+//!
+//! A finite directed graph whose nodes carry attribute tuples. Parallel edges
+//! are not part of the model (`E ⊆ V × V`); self-loops are allowed in data
+//! graphs (a node may recommend itself, cite itself, etc. — and they matter
+//! for the "non-empty path" semantics of bounded simulation).
+//!
+//! The structure is optimised for the access patterns of the matching
+//! algorithms:
+//!
+//! * forward and reverse adjacency lists (`Match` walks edges both ways when
+//!   propagating removals to ancestors);
+//! * `O(1)` expected edge-membership tests (incremental updates check for
+//!   duplicates);
+//! * dense `u32` node ids so per-node state can live in flat vectors.
+
+use crate::attributes::Attributes;
+use crate::error::GraphError;
+use crate::node_id::NodeId;
+use crate::predicate::Predicate;
+use crate::Result;
+use rustc_hash::FxHashSet;
+use serde::{Deserialize, Serialize};
+
+/// An attributed directed data graph.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct DataGraph {
+    attrs: Vec<Attributes>,
+    out_adj: Vec<Vec<NodeId>>,
+    in_adj: Vec<Vec<NodeId>>,
+    edge_set: FxHashSet<(u32, u32)>,
+    edge_count: usize,
+}
+
+impl DataGraph {
+    /// Creates an empty data graph.
+    pub fn new() -> Self {
+        DataGraph::default()
+    }
+
+    /// Creates an empty data graph with capacity reserved for `nodes` nodes.
+    pub fn with_capacity(nodes: usize) -> Self {
+        DataGraph {
+            attrs: Vec::with_capacity(nodes),
+            out_adj: Vec::with_capacity(nodes),
+            in_adj: Vec::with_capacity(nodes),
+            edge_set: FxHashSet::default(),
+            edge_count: 0,
+        }
+    }
+
+    /// Number of nodes `|V|`.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Number of edges `|E|`.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// Whether `v` is a node of this graph.
+    #[inline]
+    pub fn contains_node(&self, v: NodeId) -> bool {
+        v.index() < self.attrs.len()
+    }
+
+    /// Adds a node carrying the given attributes and returns its id.
+    pub fn add_node(&mut self, attrs: impl Into<Attributes>) -> NodeId {
+        let id = NodeId::new(self.attrs.len() as u32);
+        self.attrs.push(attrs.into());
+        self.out_adj.push(Vec::new());
+        self.in_adj.push(Vec::new());
+        id
+    }
+
+    /// Adds `n` nodes with empty attribute tuples, returning the id of the
+    /// first one. Ids are contiguous.
+    pub fn add_nodes(&mut self, n: usize) -> NodeId {
+        let first = NodeId::new(self.attrs.len() as u32);
+        for _ in 0..n {
+            self.add_node(Attributes::new());
+        }
+        first
+    }
+
+    /// Adds the directed edge `(from, to)`.
+    ///
+    /// Errors if either endpoint is unknown or the edge already exists.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId) -> Result<()> {
+        self.check_node(from)?;
+        self.check_node(to)?;
+        if !self.edge_set.insert((from.0, to.0)) {
+            return Err(GraphError::DuplicateEdge(from, to));
+        }
+        self.out_adj[from.index()].push(to);
+        self.in_adj[to.index()].push(from);
+        self.edge_count += 1;
+        Ok(())
+    }
+
+    /// Adds the edge if it is not already present; returns `true` if it was
+    /// inserted. Errors only on unknown endpoints.
+    pub fn try_add_edge(&mut self, from: NodeId, to: NodeId) -> Result<bool> {
+        match self.add_edge(from, to) {
+            Ok(()) => Ok(true),
+            Err(GraphError::DuplicateEdge(..)) => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Removes the directed edge `(from, to)`.
+    ///
+    /// Errors if either endpoint is unknown or the edge does not exist.
+    pub fn remove_edge(&mut self, from: NodeId, to: NodeId) -> Result<()> {
+        self.check_node(from)?;
+        self.check_node(to)?;
+        if !self.edge_set.remove(&(from.0, to.0)) {
+            return Err(GraphError::MissingEdge(from, to));
+        }
+        retain_first_removed(&mut self.out_adj[from.index()], to);
+        retain_first_removed(&mut self.in_adj[to.index()], from);
+        self.edge_count -= 1;
+        Ok(())
+    }
+
+    /// Whether the edge `(from, to)` exists.
+    #[inline]
+    pub fn has_edge(&self, from: NodeId, to: NodeId) -> bool {
+        self.edge_set.contains(&(from.0, to.0))
+    }
+
+    /// The out-neighbours ("children") of `v`, in insertion order.
+    #[inline]
+    pub fn out_neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.out_adj[v.index()]
+    }
+
+    /// The in-neighbours ("parents") of `v`, in insertion order.
+    #[inline]
+    pub fn in_neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.in_adj[v.index()]
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        self.out_adj[v.index()].len()
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        self.in_adj[v.index()].len()
+    }
+
+    /// The attribute tuple of `v`.
+    #[inline]
+    pub fn attributes(&self, v: NodeId) -> &Attributes {
+        &self.attrs[v.index()]
+    }
+
+    /// Mutable access to the attribute tuple of `v`.
+    pub fn attributes_mut(&mut self, v: NodeId) -> &mut Attributes {
+        &mut self.attrs[v.index()]
+    }
+
+    /// Iterates over all node ids `v0, v1, ...` in index order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.attrs.len() as u32).map(NodeId::new)
+    }
+
+    /// Iterates over all edges as `(from, to)` pairs, grouped by source.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.out_adj.iter().enumerate().flat_map(|(i, outs)| {
+            let from = NodeId::new(i as u32);
+            outs.iter().map(move |&to| (from, to))
+        })
+    }
+
+    /// All nodes whose attributes satisfy `pred` — the initial candidate set
+    /// `mat(u)` of the matching algorithms.
+    pub fn nodes_satisfying<'a>(
+        &'a self,
+        pred: &'a Predicate,
+    ) -> impl Iterator<Item = NodeId> + 'a {
+        self.nodes().filter(move |&v| pred.satisfied_by(self.attributes(v)))
+    }
+
+    /// Whether the attributes of `v` satisfy `pred`.
+    #[inline]
+    pub fn satisfies(&self, v: NodeId, pred: &Predicate) -> bool {
+        pred.satisfied_by(self.attributes(v))
+    }
+
+    /// Returns the graph with every edge reversed (attributes shared).
+    pub fn reversed(&self) -> DataGraph {
+        let mut g = DataGraph::with_capacity(self.node_count());
+        for v in self.nodes() {
+            g.add_node(self.attributes(v).clone());
+        }
+        for (a, b) in self.edges() {
+            // Original graph has no duplicates, so neither does the reverse.
+            g.add_edge(b, a).expect("reversed edge cannot be duplicate");
+        }
+        g
+    }
+
+    /// The subgraph induced by `keep`: nodes in `keep` (re-indexed densely in
+    /// the order given) plus every edge between two kept nodes. Returns the
+    /// subgraph and the mapping from new ids to original ids.
+    pub fn induced_subgraph(&self, keep: &[NodeId]) -> (DataGraph, Vec<NodeId>) {
+        let mut g = DataGraph::with_capacity(keep.len());
+        let mut old_to_new = vec![None::<NodeId>; self.node_count()];
+        let mut new_to_old = Vec::with_capacity(keep.len());
+        for &v in keep {
+            if old_to_new[v.index()].is_some() {
+                continue;
+            }
+            let nv = g.add_node(self.attributes(v).clone());
+            old_to_new[v.index()] = Some(nv);
+            new_to_old.push(v);
+        }
+        for &v in &new_to_old {
+            let nv = old_to_new[v.index()].expect("kept node was mapped");
+            for &w in self.out_neighbors(v) {
+                if let Some(nw) = old_to_new[w.index()] {
+                    g.add_edge(nv, nw).expect("induced edges are unique");
+                }
+            }
+        }
+        (g, new_to_old)
+    }
+
+    /// Total degree (in + out) of `v`; handy for hub-ordering heuristics.
+    pub fn total_degree(&self, v: NodeId) -> usize {
+        self.out_degree(v) + self.in_degree(v)
+    }
+
+    /// Builds a graph from an edge list over `n` nodes with empty attributes.
+    ///
+    /// Duplicate edges in the input are silently ignored.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Result<DataGraph> {
+        let mut g = DataGraph::with_capacity(n);
+        g.add_nodes(n);
+        for &(a, b) in edges {
+            g.try_add_edge(NodeId::new(a), NodeId::new(b))?;
+        }
+        Ok(g)
+    }
+
+    #[inline]
+    fn check_node(&self, v: NodeId) -> Result<()> {
+        if self.contains_node(v) {
+            Ok(())
+        } else {
+            Err(GraphError::UnknownNode(v))
+        }
+    }
+}
+
+/// Removes the first occurrence of `target` from `list` (swap-remove; order of
+/// adjacency lists is not semantically meaningful once edges are deleted).
+fn retain_first_removed(list: &mut Vec<NodeId>, target: NodeId) {
+    if let Some(pos) = list.iter().position(|&x| x == target) {
+        list.swap_remove(pos);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::AttrValue;
+    use proptest::prelude::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn triangle() -> DataGraph {
+        let mut g = DataGraph::new();
+        g.add_nodes(3);
+        g.add_edge(n(0), n(1)).unwrap();
+        g.add_edge(n(1), n(2)).unwrap();
+        g.add_edge(n(2), n(0)).unwrap();
+        g
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = DataGraph::new();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.is_empty());
+        assert!(!g.contains_node(n(0)));
+    }
+
+    #[test]
+    fn add_nodes_and_edges() {
+        let mut g = DataGraph::new();
+        let a = g.add_node(Attributes::labeled("A"));
+        let b = g.add_node(Attributes::labeled("B"));
+        assert_eq!(a, n(0));
+        assert_eq!(b, n(1));
+        g.add_edge(a, b).unwrap();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.has_edge(a, b));
+        assert!(!g.has_edge(b, a));
+        assert_eq!(g.out_neighbors(a), &[b]);
+        assert_eq!(g.in_neighbors(b), &[a]);
+        assert_eq!(g.out_degree(a), 1);
+        assert_eq!(g.in_degree(a), 0);
+    }
+
+    #[test]
+    fn duplicate_edge_rejected() {
+        let mut g = DataGraph::new();
+        g.add_nodes(2);
+        g.add_edge(n(0), n(1)).unwrap();
+        assert_eq!(
+            g.add_edge(n(0), n(1)),
+            Err(GraphError::DuplicateEdge(n(0), n(1)))
+        );
+        assert_eq!(g.try_add_edge(n(0), n(1)), Ok(false));
+        assert_eq!(g.try_add_edge(n(1), n(0)), Ok(true));
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn unknown_node_rejected() {
+        let mut g = DataGraph::new();
+        g.add_nodes(1);
+        assert_eq!(
+            g.add_edge(n(0), n(5)),
+            Err(GraphError::UnknownNode(n(5)))
+        );
+        assert_eq!(
+            g.remove_edge(n(7), n(0)),
+            Err(GraphError::UnknownNode(n(7)))
+        );
+    }
+
+    #[test]
+    fn remove_edge_works_and_errors() {
+        let mut g = triangle();
+        g.remove_edge(n(0), n(1)).unwrap();
+        assert_eq!(g.edge_count(), 2);
+        assert!(!g.has_edge(n(0), n(1)));
+        assert!(g.out_neighbors(n(0)).is_empty());
+        assert!(!g.in_neighbors(n(1)).contains(&n(0)));
+        assert_eq!(
+            g.remove_edge(n(0), n(1)),
+            Err(GraphError::MissingEdge(n(0), n(1)))
+        );
+    }
+
+    #[test]
+    fn self_loops_allowed_in_data_graphs() {
+        let mut g = DataGraph::new();
+        g.add_nodes(1);
+        g.add_edge(n(0), n(0)).unwrap();
+        assert!(g.has_edge(n(0), n(0)));
+        assert_eq!(g.out_degree(n(0)), 1);
+        assert_eq!(g.in_degree(n(0)), 1);
+    }
+
+    #[test]
+    fn attributes_access_and_mutation() {
+        let mut g = DataGraph::new();
+        let v = g.add_node([("rate", AttrValue::Float(4.5))]);
+        assert_eq!(g.attributes(v).get("rate"), Some(&AttrValue::Float(4.5)));
+        g.attributes_mut(v).set("rate", 3.0);
+        assert_eq!(g.attributes(v).get("rate"), Some(&AttrValue::Float(3.0)));
+    }
+
+    #[test]
+    fn nodes_and_edges_iterators() {
+        let g = triangle();
+        let nodes: Vec<_> = g.nodes().collect();
+        assert_eq!(nodes, vec![n(0), n(1), n(2)]);
+        let mut edges: Vec<_> = g.edges().collect();
+        edges.sort();
+        assert_eq!(edges, vec![(n(0), n(1)), (n(1), n(2)), (n(2), n(0))]);
+    }
+
+    #[test]
+    fn nodes_satisfying_predicate() {
+        let mut g = DataGraph::new();
+        g.add_node(Attributes::labeled("A"));
+        g.add_node(Attributes::labeled("B"));
+        g.add_node(Attributes::labeled("A"));
+        let p = Predicate::label("A");
+        let matched: Vec<_> = g.nodes_satisfying(&p).collect();
+        assert_eq!(matched, vec![n(0), n(2)]);
+        assert!(g.satisfies(n(0), &p));
+        assert!(!g.satisfies(n(1), &p));
+    }
+
+    #[test]
+    fn reversed_graph() {
+        let g = triangle();
+        let r = g.reversed();
+        assert_eq!(r.node_count(), 3);
+        assert_eq!(r.edge_count(), 3);
+        assert!(r.has_edge(n(1), n(0)));
+        assert!(r.has_edge(n(2), n(1)));
+        assert!(r.has_edge(n(0), n(2)));
+    }
+
+    #[test]
+    fn induced_subgraph_remaps_ids() {
+        let mut g = DataGraph::new();
+        g.add_node(Attributes::labeled("A"));
+        g.add_node(Attributes::labeled("B"));
+        g.add_node(Attributes::labeled("C"));
+        g.add_edge(n(0), n(1)).unwrap();
+        g.add_edge(n(1), n(2)).unwrap();
+        g.add_edge(n(2), n(0)).unwrap();
+        let (sub, mapping) = g.induced_subgraph(&[n(0), n(2)]);
+        assert_eq!(sub.node_count(), 2);
+        assert_eq!(sub.edge_count(), 1); // only (2, 0) survives
+        assert_eq!(mapping, vec![n(0), n(2)]);
+        assert_eq!(sub.attributes(n(1)).label(), Some("C"));
+        assert!(sub.has_edge(n(1), n(0)));
+    }
+
+    #[test]
+    fn induced_subgraph_ignores_duplicates_in_keep() {
+        let g = triangle();
+        let (sub, mapping) = g.induced_subgraph(&[n(1), n(1), n(2)]);
+        assert_eq!(sub.node_count(), 2);
+        assert_eq!(mapping, vec![n(1), n(2)]);
+    }
+
+    #[test]
+    fn from_edges_ignores_duplicates() {
+        let g = DataGraph::from_edges(3, &[(0, 1), (0, 1), (1, 2)]).unwrap();
+        assert_eq!(g.edge_count(), 2);
+        assert!(DataGraph::from_edges(2, &[(0, 5)]).is_err());
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut g = DataGraph::with_capacity(100);
+        assert_eq!(g.node_count(), 0);
+        g.add_nodes(3);
+        assert_eq!(g.node_count(), 3);
+    }
+
+    #[test]
+    fn total_degree() {
+        let g = triangle();
+        assert_eq!(g.total_degree(n(0)), 2);
+    }
+
+    proptest! {
+        /// Adding then removing a random set of edges leaves counts and
+        /// adjacency membership consistent with the edge set.
+        #[test]
+        fn prop_edge_bookkeeping(edges in proptest::collection::vec((0u32..20, 0u32..20), 0..120)) {
+            let mut g = DataGraph::new();
+            g.add_nodes(20);
+            let mut reference = std::collections::HashSet::new();
+            for &(a, b) in &edges {
+                let inserted = g.try_add_edge(n(a), n(b)).unwrap();
+                prop_assert_eq!(inserted, reference.insert((a, b)));
+            }
+            prop_assert_eq!(g.edge_count(), reference.len());
+            // Remove half of them.
+            for &(a, b) in edges.iter().step_by(2) {
+                if reference.remove(&(a, b)) {
+                    g.remove_edge(n(a), n(b)).unwrap();
+                } else {
+                    prop_assert!(g.remove_edge(n(a), n(b)).is_err());
+                }
+            }
+            prop_assert_eq!(g.edge_count(), reference.len());
+            for a in 0..20u32 {
+                for b in 0..20u32 {
+                    prop_assert_eq!(g.has_edge(n(a), n(b)), reference.contains(&(a, b)));
+                }
+            }
+            // Adjacency lists agree with the edge set.
+            for a in 0..20u32 {
+                for &b in g.out_neighbors(n(a)) {
+                    prop_assert!(reference.contains(&(a, b.0)));
+                }
+                for &b in g.in_neighbors(n(a)) {
+                    prop_assert!(reference.contains(&(b.0, a)));
+                }
+            }
+        }
+
+        /// `reversed` is an involution on the edge set.
+        #[test]
+        fn prop_reverse_involution(edges in proptest::collection::vec((0u32..12, 0u32..12), 0..60)) {
+            let mut g = DataGraph::new();
+            g.add_nodes(12);
+            for &(a, b) in &edges {
+                let _ = g.try_add_edge(n(a), n(b)).unwrap();
+            }
+            let rr = g.reversed().reversed();
+            prop_assert_eq!(rr.edge_count(), g.edge_count());
+            for (a, b) in g.edges() {
+                prop_assert!(rr.has_edge(a, b));
+            }
+        }
+    }
+}

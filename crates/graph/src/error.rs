@@ -1,0 +1,89 @@
+//! Error types shared by the graph substrate.
+
+use crate::node_id::{NodeId, PatternNodeId};
+use std::fmt;
+
+/// Errors raised by graph construction and mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A data-graph node id does not exist in the graph.
+    UnknownNode(NodeId),
+    /// A pattern-graph node id does not exist in the pattern.
+    UnknownPatternNode(PatternNodeId),
+    /// The edge already exists (parallel edges are not part of the model).
+    DuplicateEdge(NodeId, NodeId),
+    /// The pattern edge already exists.
+    DuplicatePatternEdge(PatternNodeId, PatternNodeId),
+    /// The edge to delete does not exist.
+    MissingEdge(NodeId, NodeId),
+    /// An edge bound of `0` hops was supplied; bounds must be `>= 1` or `*`.
+    ZeroEdgeBound,
+    /// A self-loop was supplied where the model forbids it (pattern graphs).
+    SelfLoop(PatternNodeId),
+    /// An operation required a DAG pattern but the pattern is cyclic
+    /// (e.g. `Match+` / `IncMatch`, Section 4).
+    PatternNotAcyclic,
+    /// Parsing a serialized graph failed.
+    Parse(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownNode(v) => write!(f, "unknown data-graph node {v}"),
+            GraphError::UnknownPatternNode(u) => write!(f, "unknown pattern node {u}"),
+            GraphError::DuplicateEdge(a, b) => write!(f, "edge ({a}, {b}) already exists"),
+            GraphError::DuplicatePatternEdge(a, b) => {
+                write!(f, "pattern edge ({a}, {b}) already exists")
+            }
+            GraphError::MissingEdge(a, b) => write!(f, "edge ({a}, {b}) does not exist"),
+            GraphError::ZeroEdgeBound => {
+                write!(f, "pattern edge bounds must be >= 1 hop (or unbounded)")
+            }
+            GraphError::SelfLoop(u) => write!(f, "pattern node {u} cannot have a self-loop"),
+            GraphError::PatternNotAcyclic => {
+                write!(f, "operation requires a DAG pattern but the pattern has a cycle")
+            }
+            GraphError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(GraphError, &str)> = vec![
+            (GraphError::UnknownNode(NodeId::new(3)), "v3"),
+            (GraphError::UnknownPatternNode(PatternNodeId::new(1)), "u1"),
+            (
+                GraphError::DuplicateEdge(NodeId::new(0), NodeId::new(1)),
+                "already exists",
+            ),
+            (
+                GraphError::MissingEdge(NodeId::new(0), NodeId::new(1)),
+                "does not exist",
+            ),
+            (GraphError::ZeroEdgeBound, ">= 1"),
+            (GraphError::SelfLoop(PatternNodeId::new(2)), "self-loop"),
+            (GraphError::PatternNotAcyclic, "DAG"),
+            (GraphError::Parse("bad line".into()), "bad line"),
+        ];
+        for (err, needle) in cases {
+            assert!(
+                err.to_string().contains(needle),
+                "`{err}` should mention `{needle}`"
+            );
+        }
+    }
+
+    #[test]
+    fn implements_std_error() {
+        let err: Box<dyn std::error::Error> = Box::new(GraphError::ZeroEdgeBound);
+        assert!(err.to_string().contains("hop"));
+    }
+}

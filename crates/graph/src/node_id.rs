@@ -1,0 +1,147 @@
+//! Strongly-typed node identifiers.
+//!
+//! Data-graph nodes and pattern-graph nodes live in different index spaces;
+//! mixing them up is a classic source of silent bugs in matching code (a
+//! match is a relation `S ⊆ V_p × V`). Two distinct newtypes keep the type
+//! system on our side while still being `Copy` and as cheap as a `u32`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a node in a [`crate::DataGraph`].
+///
+/// Node ids are dense indices assigned in insertion order, starting at 0.
+/// They are stable: removing edges never invalidates a `NodeId` (node removal
+/// is not supported by the data model, matching the paper where updates are
+/// edge insertions/deletions only).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// Identifier of a node in a [`crate::PatternGraph`].
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PatternNodeId(pub u32);
+
+impl NodeId {
+    /// Create a node id from a raw index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// The raw index as `usize`, for direct indexing into per-node tables.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl PatternNodeId {
+    /// Create a pattern node id from a raw index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        PatternNodeId(index)
+    }
+
+    /// The raw index as `usize`, for direct indexing into per-node tables.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for NodeId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<NodeId> for u32 {
+    #[inline]
+    fn from(v: NodeId) -> Self {
+        v.0
+    }
+}
+
+impl From<u32> for PatternNodeId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        PatternNodeId(v)
+    }
+}
+
+impl From<PatternNodeId> for u32 {
+    #[inline]
+    fn from(v: PatternNodeId) -> Self {
+        v.0
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Debug for PatternNodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+impl fmt::Display for PatternNodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let id = NodeId::new(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(u32::from(id), 42);
+        assert_eq!(NodeId::from(42u32), id);
+    }
+
+    #[test]
+    fn pattern_node_id_roundtrip() {
+        let id = PatternNodeId::new(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(u32::from(id), 7);
+        assert_eq!(PatternNodeId::from(7u32), id);
+    }
+
+    #[test]
+    fn display_distinguishes_spaces() {
+        assert_eq!(NodeId::new(3).to_string(), "v3");
+        assert_eq!(PatternNodeId::new(3).to_string(), "u3");
+        assert_eq!(format!("{:?}", NodeId::new(3)), "v3");
+        assert_eq!(format!("{:?}", PatternNodeId::new(3)), "u3");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert!(PatternNodeId::new(0) < PatternNodeId::new(10));
+    }
+
+    #[test]
+    fn hashable_in_sets() {
+        let mut s = HashSet::new();
+        s.insert(NodeId::new(1));
+        s.insert(NodeId::new(1));
+        s.insert(NodeId::new(2));
+        assert_eq!(s.len(), 2);
+    }
+}

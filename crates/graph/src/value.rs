@@ -1,0 +1,233 @@
+//! Attribute values.
+//!
+//! Data-graph nodes carry a tuple of attributes `A_i = a_i` (Section 2.1 of
+//! the paper) where each `a_i` is a constant. Pattern predicates compare such
+//! constants with the operators `<, <=, =, !=, >, >=`, so values need a total
+//! comparison within a type; comparisons across incompatible types evaluate
+//! to `false` rather than erroring (a node simply does not satisfy the
+//! predicate), mirroring the paper's "v.A = a' is defined ... and a' op a".
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A constant attribute value stored on a data-graph node.
+///
+/// The paper's examples use strings (category names, uploader names), numbers
+/// (rating, age in days, view counts) and implicitly booleans; floats are
+/// included so rating-style attributes (e.g. `rate > 4.5`) work naturally.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum AttrValue {
+    /// A signed integer constant (counts, days, hops...).
+    Int(i64),
+    /// A floating point constant (ratings, scores...).
+    Float(f64),
+    /// A string constant (labels, categories, user names...).
+    Str(String),
+    /// A boolean constant.
+    Bool(bool),
+}
+
+impl AttrValue {
+    /// Returns a short, human readable name of the value's type.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            AttrValue::Int(_) => "int",
+            AttrValue::Float(_) => "float",
+            AttrValue::Str(_) => "str",
+            AttrValue::Bool(_) => "bool",
+        }
+    }
+
+    /// Returns the value as an `i64` if it is an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            AttrValue::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as an `f64` if it is numeric (int or float).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            AttrValue::Int(v) => Some(*v as f64),
+            AttrValue::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as a string slice if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            AttrValue::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as a bool if it is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            AttrValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Compare two values if they are comparable.
+    ///
+    /// Numeric values (ints and floats) compare with each other; strings
+    /// compare lexicographically; booleans compare as `false < true`.
+    /// Values of incomparable kinds — and `NaN` floats — return `None`,
+    /// which predicate evaluation treats as "does not satisfy".
+    pub fn partial_cmp_value(&self, other: &AttrValue) -> Option<Ordering> {
+        use AttrValue::*;
+        match (self, other) {
+            (Int(a), Int(b)) => Some(a.cmp(b)),
+            (Float(a), Float(b)) => a.partial_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).partial_cmp(b),
+            (Float(a), Int(b)) => a.partial_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => Some(a.cmp(b)),
+            (Bool(a), Bool(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+
+    /// Equality in the sense used by predicates: numerically tolerant across
+    /// int/float, otherwise structural.
+    pub fn semantically_eq(&self, other: &AttrValue) -> bool {
+        matches!(self.partial_cmp_value(other), Some(Ordering::Equal))
+    }
+}
+
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> Self {
+        AttrValue::Int(v)
+    }
+}
+
+impl From<i32> for AttrValue {
+    fn from(v: i32) -> Self {
+        AttrValue::Int(v as i64)
+    }
+}
+
+impl From<u32> for AttrValue {
+    fn from(v: u32) -> Self {
+        AttrValue::Int(v as i64)
+    }
+}
+
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::Float(v)
+    }
+}
+
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Str(v)
+    }
+}
+
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> Self {
+        AttrValue::Bool(v)
+    }
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::Int(v) => write!(f, "{v}"),
+            AttrValue::Float(v) => write!(f, "{v}"),
+            AttrValue::Str(v) => write!(f, "{v:?}"),
+            AttrValue::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(AttrValue::from(3i64), AttrValue::Int(3));
+        assert_eq!(AttrValue::from(3i32), AttrValue::Int(3));
+        assert_eq!(AttrValue::from(3u32), AttrValue::Int(3));
+        assert_eq!(AttrValue::from(2.5), AttrValue::Float(2.5));
+        assert_eq!(AttrValue::from("x"), AttrValue::Str("x".into()));
+        assert_eq!(AttrValue::from(true), AttrValue::Bool(true));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(AttrValue::Int(7).as_int(), Some(7));
+        assert_eq!(AttrValue::Float(7.5).as_int(), None);
+        assert_eq!(AttrValue::Int(7).as_f64(), Some(7.0));
+        assert_eq!(AttrValue::Float(7.5).as_f64(), Some(7.5));
+        assert_eq!(AttrValue::Str("a".into()).as_str(), Some("a"));
+        assert_eq!(AttrValue::Bool(true).as_bool(), Some(true));
+        assert_eq!(AttrValue::Str("a".into()).as_bool(), None);
+    }
+
+    #[test]
+    fn numeric_cross_type_comparison() {
+        let a = AttrValue::Int(3);
+        let b = AttrValue::Float(3.0);
+        let c = AttrValue::Float(3.5);
+        assert!(a.semantically_eq(&b));
+        assert_eq!(a.partial_cmp_value(&c), Some(Ordering::Less));
+        assert_eq!(c.partial_cmp_value(&a), Some(Ordering::Greater));
+    }
+
+    #[test]
+    fn string_comparison() {
+        let a = AttrValue::from("apple");
+        let b = AttrValue::from("banana");
+        assert_eq!(a.partial_cmp_value(&b), Some(Ordering::Less));
+        assert!(!a.semantically_eq(&b));
+        assert!(a.semantically_eq(&AttrValue::from("apple")));
+    }
+
+    #[test]
+    fn incomparable_types_return_none() {
+        assert_eq!(
+            AttrValue::from("3").partial_cmp_value(&AttrValue::Int(3)),
+            None
+        );
+        assert_eq!(
+            AttrValue::Bool(true).partial_cmp_value(&AttrValue::Int(1)),
+            None
+        );
+        assert!(!AttrValue::from("3").semantically_eq(&AttrValue::Int(3)));
+    }
+
+    #[test]
+    fn nan_is_not_comparable() {
+        let nan = AttrValue::Float(f64::NAN);
+        assert_eq!(nan.partial_cmp_value(&AttrValue::Float(1.0)), None);
+        assert!(!nan.semantically_eq(&nan));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(AttrValue::Int(3).to_string(), "3");
+        assert_eq!(AttrValue::Float(2.5).to_string(), "2.5");
+        assert_eq!(AttrValue::from("hi").to_string(), "\"hi\"");
+        assert_eq!(AttrValue::Bool(false).to_string(), "false");
+    }
+
+    #[test]
+    fn type_names() {
+        assert_eq!(AttrValue::Int(1).type_name(), "int");
+        assert_eq!(AttrValue::Float(1.0).type_name(), "float");
+        assert_eq!(AttrValue::from("x").type_name(), "str");
+        assert_eq!(AttrValue::Bool(true).type_name(), "bool");
+    }
+}

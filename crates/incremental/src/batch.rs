@@ -1,0 +1,220 @@
+//! `IncMatch` — incremental maintenance under a **batch** of edge updates
+//! (Fig. 8 of the paper). Requires a DAG pattern; data graphs may be cyclic.
+//!
+//! The batch algorithm updates the distance matrix once for the whole list of
+//! updates (`UpdateBM`), then repairs the match from the combined `AFF1`:
+//!
+//! 1. sources whose outgoing distances **increased** are handled with the
+//!    removal propagation of `Match−`;
+//! 2. sources whose outgoing distances **decreased** are handled with the
+//!    addition propagation of `Match+`.
+//!
+//! Removals are processed before additions: a match that loses its witness
+//! through one update of the batch but regains a (different) witness through
+//! another is first moved out of the match and then re-added by the addition
+//! pass — this is the role of the paper's "move `v'` to `can(u')` instead of
+//! dropping it" remark, and processing the phases in this order is what makes
+//! the combined repair confluent.
+
+use crate::affected::{Aff2, IncrementalOutcome};
+use crate::delete::process_removals;
+use crate::insert::process_additions;
+use crate::state::MatchState;
+use gpm_distance::{update_matrix_batch, DistanceMatrix, EdgeUpdate};
+use gpm_graph::{DataGraph, GraphError, NodeId, PatternGraph};
+use rustc_hash::FxHashSet;
+
+/// Applies a batch `δ` of edge updates to `graph`, maintains `matrix` and
+/// `state`, and reports the affected areas.
+///
+/// Updates that are no-ops at their position in the batch (inserting an
+/// existing edge, deleting a missing one) are skipped, matching the
+/// behaviour of the update-stream generator. Errors with
+/// [`GraphError::PatternNotAcyclic`] for cyclic patterns (nothing modified).
+pub fn inc_match(
+    pattern: &PatternGraph,
+    graph: &mut DataGraph,
+    matrix: &mut DistanceMatrix,
+    state: &mut MatchState,
+    updates: &[EdgeUpdate],
+) -> Result<IncrementalOutcome, GraphError> {
+    pattern.require_dag()?;
+
+    // Apply the batch to the graph, remembering which updates took effect.
+    let mut applied: Vec<EdgeUpdate> = Vec::with_capacity(updates.len());
+    for u in updates {
+        if u.apply(graph) {
+            applied.push(*u);
+        }
+    }
+    let aff1 = update_matrix_batch(graph, matrix, &applied);
+
+    let increased_sources: FxHashSet<NodeId> = aff1
+        .iter()
+        .filter(|p| p.increased())
+        .map(|p| p.source)
+        .collect();
+    let decreased_sources: FxHashSet<NodeId> = aff1
+        .iter()
+        .filter(|p| !p.increased())
+        .map(|p| p.source)
+        .collect();
+
+    let mut aff2 = Aff2::default();
+    let mut verifications = 0usize;
+    // Removals first (see module docs), then additions.
+    process_removals(
+        pattern,
+        matrix,
+        state,
+        &increased_sources,
+        &mut aff2,
+        &mut verifications,
+    );
+    let mut additions = Aff2::default();
+    process_additions(
+        pattern,
+        matrix,
+        state,
+        &decreased_sources,
+        &mut additions,
+        &mut verifications,
+    );
+    aff2.merge(additions);
+    Ok(IncrementalOutcome::new(aff1, aff2, verifications))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_core::bounded_simulation_with_oracle;
+    use gpm_datagen::{random_graph, random_updates, RandomGraphConfig, UpdateStreamConfig};
+    use gpm_graph::{PatternGraphBuilder, Predicate};
+    use proptest::prelude::*;
+
+    fn dag_pattern() -> PatternGraph {
+        let (p, _) = PatternGraphBuilder::new()
+            .node("x", Predicate::label("a0"))
+            .node("y", Predicate::label("a1"))
+            .node("z", Predicate::label("a2"))
+            .node("w", Predicate::label("a3"))
+            .edge("x", "y", 2u32)
+            .edge("y", "z", 3u32)
+            .edge("x", "z", 4u32)
+            .unbounded_edge("z", "w")
+            .build()
+            .unwrap();
+        p
+    }
+
+    fn run_batch_and_compare(seed: u64, nodes: usize, edges: usize, batch: usize) {
+        let mut g = random_graph(&RandomGraphConfig::new(nodes, edges, 5).with_seed(seed));
+        let p = dag_pattern();
+        let mut m = DistanceMatrix::build(&g);
+        let mut s = MatchState::initialise(&p, &g, &m);
+
+        let updates = random_updates(&g, &UpdateStreamConfig::mixed(batch).with_seed(seed * 31 + 1));
+        let out = inc_match(&p, &mut g, &mut m, &mut s, &updates).unwrap();
+
+        // The matrix and the match equal a from-scratch recomputation.
+        assert_eq!(m, DistanceMatrix::build(&g), "matrix diverged (seed {seed})");
+        let recomputed = bounded_simulation_with_oracle(&p, &g, &m);
+        assert_eq!(
+            s.relation(),
+            recomputed.relation,
+            "match diverged (seed {seed})"
+        );
+        assert_eq!(out.stats.aff2, out.aff2.len());
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let mut g = random_graph(&RandomGraphConfig::new(30, 60, 5).with_seed(1));
+        let p = dag_pattern();
+        let mut m = DistanceMatrix::build(&g);
+        let mut s = MatchState::initialise(&p, &g, &m);
+        let before = s.relation();
+        let out = inc_match(&p, &mut g, &mut m, &mut s, &[]).unwrap();
+        assert!(out.aff1.is_empty());
+        assert!(out.aff2.is_empty());
+        assert_eq!(s.relation(), before);
+    }
+
+    #[test]
+    fn cyclic_pattern_is_rejected() {
+        let mut g = random_graph(&RandomGraphConfig::new(10, 20, 3).with_seed(2));
+        let (p, _) = PatternGraphBuilder::new()
+            .node("x", Predicate::label("a0"))
+            .node("y", Predicate::label("a1"))
+            .edge("x", "y", 1u32)
+            .edge("y", "x", 1u32)
+            .build()
+            .unwrap();
+        let mut m = DistanceMatrix::build(&g);
+        let mut s = MatchState::initialise(&p, &g, &m);
+        let err = inc_match(&p, &mut g, &mut m, &mut s, &[]);
+        assert_eq!(err.unwrap_err(), GraphError::PatternNotAcyclic);
+    }
+
+    #[test]
+    fn mixed_batches_match_recompute_fixed_seeds() {
+        for seed in 0..12u64 {
+            run_batch_and_compare(seed, 40, 100, 25);
+        }
+    }
+
+    #[test]
+    fn deletion_only_batches() {
+        for seed in 0..6u64 {
+            let mut g = random_graph(&RandomGraphConfig::new(35, 90, 5).with_seed(seed));
+            let p = dag_pattern();
+            let mut m = DistanceMatrix::build(&g);
+            let mut s = MatchState::initialise(&p, &g, &m);
+            let updates =
+                random_updates(&g, &UpdateStreamConfig::deletions(20).with_seed(seed + 99));
+            inc_match(&p, &mut g, &mut m, &mut s, &updates).unwrap();
+            let recomputed = bounded_simulation_with_oracle(&p, &g, &m);
+            assert_eq!(s.relation(), recomputed.relation, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn insertion_only_batches() {
+        for seed in 0..6u64 {
+            let mut g = random_graph(&RandomGraphConfig::new(35, 60, 5).with_seed(seed));
+            let p = dag_pattern();
+            let mut m = DistanceMatrix::build(&g);
+            let mut s = MatchState::initialise(&p, &g, &m);
+            let updates =
+                random_updates(&g, &UpdateStreamConfig::insertions(20).with_seed(seed + 7));
+            inc_match(&p, &mut g, &mut m, &mut s, &updates).unwrap();
+            let recomputed = bounded_simulation_with_oracle(&p, &g, &m);
+            assert_eq!(s.relation(), recomputed.relation, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn repeated_batches_stay_consistent() {
+        let mut g = random_graph(&RandomGraphConfig::new(40, 90, 5).with_seed(3));
+        let p = dag_pattern();
+        let mut m = DistanceMatrix::build(&g);
+        let mut s = MatchState::initialise(&p, &g, &m);
+        for round in 0..5u64 {
+            let updates =
+                random_updates(&g, &UpdateStreamConfig::mixed(15).with_seed(round * 13 + 5));
+            inc_match(&p, &mut g, &mut m, &mut s, &updates).unwrap();
+            let recomputed = bounded_simulation_with_oracle(&p, &g, &m);
+            assert_eq!(s.relation(), recomputed.relation, "round {round}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        /// IncMatch equals recomputation from scratch for arbitrary seeds and
+        /// batch sizes.
+        #[test]
+        fn prop_incmatch_equals_recompute(seed in 0u64..5_000, batch in 1usize..40) {
+            run_batch_and_compare(seed, 30, 70, batch);
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! `Match−` — incremental maintenance under a single edge **deletion**
+//! (Fig. 5 of the paper). Works for arbitrary (possibly cyclic) patterns.
+//!
+//! A deletion can only *increase* distances, so matches can only disappear.
+//! The algorithm:
+//!
+//! 1. update the distance matrix with `UpdateM`, obtaining `AFF1`;
+//! 2. for every data node whose outgoing distances grew, re-verify the
+//!    pattern edges of the pattern nodes it currently matches; failures are
+//!    removed from the match and pushed on a worklist (`wSet`);
+//! 3. pop `(u, y)` pairs from the worklist and re-verify the affected pattern
+//!    edge for every matched ancestor candidate that could reach `y` within
+//!    the bound, cascading removals until the fixpoint.
+//!
+//! The implementation deviates from the pseudo-code in one defensive way:
+//! step 2 re-verifies *all* out-edges of the affected sources rather than
+//! only the edges whose sink also appears in `AFF1` — this keeps the pass
+//! correct when several pairs of the same batch interact (see the discussion
+//! in `batch.rs`), at the cost of a few extra constant-time checks.
+
+use crate::affected::{Aff2, IncrementalOutcome};
+use crate::state::MatchState;
+use gpm_distance::{update_matrix, DistanceMatrix, EdgeUpdate};
+use gpm_graph::{DataGraph, EdgeBound, GraphError, NodeId, PatternGraph, PatternNodeId};
+use rustc_hash::FxHashSet;
+
+/// Applies the deletion of `(from, to)` to `graph`, maintains `matrix` and
+/// `state`, and reports the affected areas.
+///
+/// Errors with [`GraphError::MissingEdge`] if the edge does not exist; in
+/// that case nothing is modified.
+pub fn match_minus(
+    pattern: &PatternGraph,
+    graph: &mut DataGraph,
+    matrix: &mut DistanceMatrix,
+    state: &mut MatchState,
+    from: NodeId,
+    to: NodeId,
+) -> Result<IncrementalOutcome, GraphError> {
+    graph.remove_edge(from, to)?;
+    let aff1 = update_matrix(graph, matrix, EdgeUpdate::Delete(from, to));
+
+    let sources: FxHashSet<NodeId> = aff1
+        .iter()
+        .filter(|p| p.increased())
+        .map(|p| p.source)
+        .collect();
+    let mut aff2 = Aff2::default();
+    let mut verifications = 0usize;
+    process_removals(pattern, matrix, state, &sources, &mut aff2, &mut verifications);
+    Ok(IncrementalOutcome::new(aff1, aff2, verifications))
+}
+
+/// Whether there is a non-empty path from `x` to `y` admitted by `bound`,
+/// answered from the maintained distance matrix.
+#[inline]
+pub(crate) fn within(matrix: &DistanceMatrix, x: NodeId, y: NodeId, bound: EdgeBound) -> bool {
+    match bound {
+        EdgeBound::Hops(k) => matrix.within_hops(x, y, k),
+        EdgeBound::Unbounded => matrix.reachable(x, y),
+    }
+}
+
+/// Whether matched node `x` of pattern node `u` still has a witness for the
+/// pattern edge `(u, target)` with the given bound.
+#[inline]
+pub(crate) fn edge_witnessed(
+    matrix: &DistanceMatrix,
+    state: &MatchState,
+    x: NodeId,
+    target: PatternNodeId,
+    bound: EdgeBound,
+) -> bool {
+    state
+        .matches_of(target)
+        .into_iter()
+        .any(|y| within(matrix, x, y, bound))
+}
+
+/// Removal propagation shared by `Match−` and the deletion side of
+/// `IncMatch`. `sources` are the data nodes whose *outgoing* distances
+/// increased.
+pub(crate) fn process_removals(
+    pattern: &PatternGraph,
+    matrix: &DistanceMatrix,
+    state: &mut MatchState,
+    sources: &FxHashSet<NodeId>,
+    aff2: &mut Aff2,
+    verifications: &mut usize,
+) {
+    // Worklist of (pattern node, data node) pairs removed from the match.
+    let mut worklist: Vec<(PatternNodeId, NodeId)> = Vec::new();
+
+    // Step 2: seed from the affected sources.
+    for &v in sources {
+        for u in pattern.node_ids() {
+            if !state.in_mat(u, v) {
+                continue;
+            }
+            let mut invalid = false;
+            for e in pattern.out_edges(u) {
+                *verifications += 1;
+                if !edge_witnessed(matrix, state, v, e.to, e.bound) {
+                    invalid = true;
+                    break;
+                }
+            }
+            if invalid {
+                state.remove(u, v);
+                aff2.removed.push((u, v));
+                worklist.push((u, v));
+            }
+        }
+    }
+
+    // Step 3: cascade to ancestors.
+    while let Some((u, y)) = worklist.pop() {
+        for e in pattern.in_edges(u) {
+            let parent = e.from;
+            // Only matched nodes that could use y as a witness are affected.
+            for x in state.matches_of(parent) {
+                if !within(matrix, x, y, e.bound) {
+                    continue;
+                }
+                *verifications += 1;
+                if edge_witnessed(matrix, state, x, u, e.bound) {
+                    continue;
+                }
+                state.remove(parent, x);
+                aff2.removed.push((parent, x));
+                worklist.push((parent, x));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_core::bounded_simulation_with_oracle;
+    use gpm_graph::{DataGraphBuilder, PatternGraphBuilder};
+
+    fn setup() -> (DataGraph, PatternGraph, DistanceMatrix, MatchState) {
+        // a -> b -> c -> d with labels A, B, C, D; pattern A -[2]-> C -[1]-> D.
+        let (g, _) = DataGraphBuilder::new()
+            .labeled_node("A")
+            .labeled_node("B")
+            .labeled_node("C")
+            .labeled_node("D")
+            .path(&["A", "B", "C", "D"])
+            .build()
+            .unwrap();
+        let (p, _) = PatternGraphBuilder::new()
+            .labeled_node("A")
+            .labeled_node("C")
+            .labeled_node("D")
+            .edge("A", "C", 2u32)
+            .edge("C", "D", 1u32)
+            .build()
+            .unwrap();
+        let m = DistanceMatrix::build(&g);
+        let s = MatchState::initialise(&p, &g, &m);
+        (g, p, m, s)
+    }
+
+    #[test]
+    fn deleting_irrelevant_edge_changes_nothing() {
+        let (mut g, p, _, _) = setup();
+        // Add an extra edge whose deletion does not affect the match.
+        let extra_from = NodeId::new(3);
+        let extra_to = NodeId::new(0);
+        g.add_edge(extra_from, extra_to).unwrap();
+        let mut m = DistanceMatrix::build(&g);
+        let mut s = MatchState::initialise(&p, &g, &m);
+        let before = s.relation();
+
+        let out = match_minus(&p, &mut g, &mut m, &mut s, extra_from, extra_to).unwrap();
+        // Distances did change (the cycle disappeared), but the match did not.
+        assert!(s.relation().is_match(&p));
+        assert_eq!(s.relation(), before);
+        assert!(out.aff2.is_empty());
+        assert_eq!(m, DistanceMatrix::build(&g));
+    }
+
+    #[test]
+    fn deleting_witness_edge_breaks_the_match() {
+        let (mut g, p, mut m, mut s) = setup();
+        assert!(s.relation().is_match(&p));
+        // Deleting c -> d removes D's only witness, cascading to C and A.
+        let out = match_minus(&p, &mut g, &mut m, &mut s, NodeId::new(2), NodeId::new(3)).unwrap();
+        assert!(!s.all_matched());
+        assert!(s.relation().is_empty());
+        assert!(out.aff2.removed.len() >= 2, "cascade should remove C and A matches");
+        assert!(out.stats.aff1 > 0);
+        assert_eq!(out.stats.aff2, out.aff2.len());
+        // Matrix stays consistent with a rebuild.
+        assert_eq!(m, DistanceMatrix::build(&g));
+    }
+
+    #[test]
+    fn deletion_with_alternative_witness_keeps_match() {
+        // a -> b -> c and a -> x -> c (two 2-hop routes); pattern A -[2]-> C.
+        let (mut g, names) = DataGraphBuilder::new()
+            .labeled_node("A")
+            .labeled_node("B")
+            .labeled_node("X")
+            .labeled_node("C")
+            .path(&["A", "B", "C"])
+            .path(&["A", "X", "C"])
+            .build()
+            .unwrap();
+        let (p, _) = PatternGraphBuilder::new()
+            .labeled_node("A")
+            .labeled_node("C")
+            .edge("A", "C", 2u32)
+            .build()
+            .unwrap();
+        let mut m = DistanceMatrix::build(&g);
+        let mut s = MatchState::initialise(&p, &g, &m);
+        assert!(s.relation().is_match(&p));
+
+        let out =
+            match_minus(&p, &mut g, &mut m, &mut s, names["B"], names["C"]).unwrap();
+        assert!(s.relation().is_match(&p), "alternative route keeps the match");
+        assert!(out.aff2.is_empty());
+    }
+
+    #[test]
+    fn missing_edge_is_an_error_and_leaves_state_untouched() {
+        let (mut g, p, mut m, mut s) = setup();
+        let before_edges = g.edge_count();
+        let before_rel = s.relation();
+        let err = match_minus(&p, &mut g, &mut m, &mut s, NodeId::new(3), NodeId::new(0));
+        assert!(err.is_err());
+        assert_eq!(g.edge_count(), before_edges);
+        assert_eq!(s.relation(), before_rel);
+        let _ = p;
+    }
+
+    #[test]
+    fn state_equals_recompute_after_deletion() {
+        let (mut g, p, mut m, mut s) = setup();
+        match_minus(&p, &mut g, &mut m, &mut s, NodeId::new(0), NodeId::new(1)).unwrap();
+        let recomputed = bounded_simulation_with_oracle(&p, &g, &m);
+        assert_eq!(s.relation(), recomputed.relation);
+    }
+
+    #[test]
+    fn works_for_cyclic_patterns() {
+        // Pattern with a cycle: A -[2]-> C, C -[3]-> A over a data cycle.
+        let (mut g, _) = DataGraphBuilder::new()
+            .labeled_node("A")
+            .labeled_node("B")
+            .labeled_node("C")
+            .path(&["A", "B", "C"])
+            .edge("C", "A")
+            .build()
+            .unwrap();
+        let (p, _) = PatternGraphBuilder::new()
+            .labeled_node("A")
+            .labeled_node("C")
+            .edge("A", "C", 2u32)
+            .edge("C", "A", 3u32)
+            .build()
+            .unwrap();
+        assert!(!p.is_dag());
+        let mut m = DistanceMatrix::build(&g);
+        let mut s = MatchState::initialise(&p, &g, &m);
+        assert!(s.relation().is_match(&p));
+
+        match_minus(&p, &mut g, &mut m, &mut s, NodeId::new(2), NodeId::new(0)).unwrap();
+        let recomputed = bounded_simulation_with_oracle(&p, &g, &m);
+        assert_eq!(s.relation(), recomputed.relation);
+        assert!(s.relation().is_empty());
+    }
+}

@@ -1,0 +1,275 @@
+//! `Match+` — incremental maintenance under a single edge **insertion**
+//! (Fig. 7 of the paper). Requires a DAG pattern; data graphs may be cyclic.
+//!
+//! An insertion can only *decrease* distances, so matches can only appear.
+//! The algorithm:
+//!
+//! 1. update the distance matrix with `UpdateM`, obtaining `AFF1`;
+//! 2. for every data node whose outgoing distances shrank, check whether it
+//!    is a candidate (`can(u')`) of some pattern node that now has **all** of
+//!    its pattern edges witnessed; such nodes become new matches and are
+//!    pushed on a worklist;
+//! 3. pop newly added matches `(u, y)` and re-examine the candidates of
+//!    pattern parents of `u` that can reach `y` within the bound, cascading
+//!    additions until the fixpoint.
+//!
+//! For cyclic patterns a set of candidates can be *mutually* dependent (each
+//! needs the others to already be matched), which upward propagation cannot
+//! discover — this is exactly why the paper restricts `Match+`/`IncMatch` to
+//! DAG patterns; [`match_plus`] returns [`GraphError::PatternNotAcyclic`] in
+//! that case (the [`crate::IncrementalMatcher`] facade falls back to
+//! recomputation instead).
+
+use crate::affected::{Aff2, IncrementalOutcome};
+use crate::delete::within;
+use crate::state::MatchState;
+use gpm_distance::{update_matrix, DistanceMatrix, EdgeUpdate};
+use gpm_graph::{DataGraph, GraphError, NodeId, PatternGraph, PatternNodeId};
+use rustc_hash::FxHashSet;
+
+/// Applies the insertion of `(from, to)` to `graph`, maintains `matrix` and
+/// `state`, and reports the affected areas.
+///
+/// Errors with [`GraphError::PatternNotAcyclic`] for cyclic patterns and
+/// [`GraphError::DuplicateEdge`] if the edge already exists; nothing is
+/// modified in either case.
+pub fn match_plus(
+    pattern: &PatternGraph,
+    graph: &mut DataGraph,
+    matrix: &mut DistanceMatrix,
+    state: &mut MatchState,
+    from: NodeId,
+    to: NodeId,
+) -> Result<IncrementalOutcome, GraphError> {
+    pattern.require_dag()?;
+    graph.add_edge(from, to)?;
+    let aff1 = update_matrix(graph, matrix, EdgeUpdate::Insert(from, to));
+
+    let sources: FxHashSet<NodeId> = aff1
+        .iter()
+        .filter(|p| !p.increased())
+        .map(|p| p.source)
+        .collect();
+    let mut aff2 = Aff2::default();
+    let mut verifications = 0usize;
+    process_additions(pattern, matrix, state, &sources, &mut aff2, &mut verifications);
+    Ok(IncrementalOutcome::new(aff1, aff2, verifications))
+}
+
+/// Whether candidate `x` of pattern node `u` has every out-edge of `u`
+/// witnessed by the current match sets.
+#[inline]
+pub(crate) fn fully_witnessed(
+    pattern: &PatternGraph,
+    matrix: &DistanceMatrix,
+    state: &MatchState,
+    u: PatternNodeId,
+    x: NodeId,
+    verifications: &mut usize,
+) -> bool {
+    for e in pattern.out_edges(u) {
+        *verifications += 1;
+        let ok = state
+            .matches_of(e.to)
+            .into_iter()
+            .any(|y| within(matrix, x, y, e.bound));
+        if !ok {
+            return false;
+        }
+    }
+    true
+}
+
+/// Addition propagation shared by `Match+` and the insertion side of
+/// `IncMatch`. `sources` are the data nodes whose *outgoing* distances
+/// decreased.
+pub(crate) fn process_additions(
+    pattern: &PatternGraph,
+    matrix: &DistanceMatrix,
+    state: &mut MatchState,
+    sources: &FxHashSet<NodeId>,
+    aff2: &mut Aff2,
+    verifications: &mut usize,
+) {
+    let mut worklist: Vec<(PatternNodeId, NodeId)> = Vec::new();
+
+    // Step 2: seed from the affected sources.
+    for &v in sources {
+        for u in pattern.node_ids() {
+            if !state.in_can(u, v) {
+                continue;
+            }
+            if fully_witnessed(pattern, matrix, state, u, v, verifications) {
+                state.add(u, v);
+                aff2.added.push((u, v));
+                worklist.push((u, v));
+            }
+        }
+    }
+
+    // Step 3: cascade to pattern parents of newly added matches.
+    while let Some((u, y)) = worklist.pop() {
+        for e in pattern.in_edges(u) {
+            let parent = e.from;
+            for x in state.candidates_of(parent) {
+                if !within(matrix, x, y, e.bound) {
+                    continue;
+                }
+                if fully_witnessed(pattern, matrix, state, parent, x, verifications) {
+                    state.add(parent, x);
+                    aff2.added.push((parent, x));
+                    worklist.push((parent, x));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_core::bounded_simulation_with_oracle;
+    use gpm_graph::{DataGraphBuilder, PatternGraphBuilder};
+
+    /// a A, b B, c C with only a -> b; pattern A -[2]-> C (not matched yet).
+    fn setup() -> (DataGraph, PatternGraph, DistanceMatrix, MatchState) {
+        let (g, _) = DataGraphBuilder::new()
+            .labeled_node("A")
+            .labeled_node("B")
+            .labeled_node("C")
+            .edge("A", "B")
+            .build()
+            .unwrap();
+        let (p, _) = PatternGraphBuilder::new()
+            .labeled_node("A")
+            .labeled_node("C")
+            .edge("A", "C", 2u32)
+            .build()
+            .unwrap();
+        let m = DistanceMatrix::build(&g);
+        let s = MatchState::initialise(&p, &g, &m);
+        (g, p, m, s)
+    }
+
+    #[test]
+    fn insertion_creates_the_match() {
+        let (mut g, p, mut m, mut s) = setup();
+        assert!(s.relation().is_empty());
+        let out = match_plus(&p, &mut g, &mut m, &mut s, NodeId::new(1), NodeId::new(2)).unwrap();
+        assert!(s.relation().is_match(&p));
+        // Node c was already matched to pattern node C before the insertion
+        // (C has no out-edges); the insertion only adds the (A, a) pair.
+        assert!(out.aff2.added.contains(&(gpm_graph::PatternNodeId::new(0), NodeId::new(0))));
+        assert!(s.relation().contains(gpm_graph::PatternNodeId::new(1), NodeId::new(2)));
+        assert!(out.aff2.removed.is_empty());
+        assert_eq!(m, DistanceMatrix::build(&g));
+        // Incremental state equals a from-scratch run.
+        let recomputed = bounded_simulation_with_oracle(&p, &g, &m);
+        assert_eq!(s.relation(), recomputed.relation);
+    }
+
+    #[test]
+    fn cascading_additions_up_a_chain() {
+        // Data a(A) -> b(B), c(C), d(D) with pattern A-[1]->B-[1]->C-[1]->D.
+        // Inserting edges bottom-up should cascade matches upward once the
+        // last edge lands.
+        let (mut g, names) = DataGraphBuilder::new()
+            .labeled_node("A")
+            .labeled_node("B")
+            .labeled_node("C")
+            .labeled_node("D")
+            .edge("A", "B")
+            .edge("B", "C")
+            .build()
+            .unwrap();
+        let (p, _) = PatternGraphBuilder::new()
+            .labeled_node("A")
+            .labeled_node("B")
+            .labeled_node("C")
+            .labeled_node("D")
+            .edge("A", "B", 1u32)
+            .edge("B", "C", 1u32)
+            .edge("C", "D", 1u32)
+            .build()
+            .unwrap();
+        let mut m = DistanceMatrix::build(&g);
+        let mut s = MatchState::initialise(&p, &g, &m);
+        assert!(s.relation().is_empty());
+
+        let out = match_plus(&p, &mut g, &mut m, &mut s, names["C"], names["D"]).unwrap();
+        assert!(s.relation().is_match(&p));
+        // Pattern node D was already matched (no out-edges); the cascade adds
+        // the matches of C, B and A bottom-up.
+        assert_eq!(out.aff2.added.len(), 3);
+        let recomputed = bounded_simulation_with_oracle(&p, &g, &m);
+        assert_eq!(s.relation(), recomputed.relation);
+    }
+
+    #[test]
+    fn duplicate_insertion_is_an_error() {
+        let (mut g, p, mut m, mut s) = setup();
+        let err = match_plus(&p, &mut g, &mut m, &mut s, NodeId::new(0), NodeId::new(1));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn cyclic_pattern_is_rejected() {
+        let (mut g, _, mut m, _) = setup();
+        let (p, _) = PatternGraphBuilder::new()
+            .labeled_node("A")
+            .labeled_node("B")
+            .edge("A", "B", 1u32)
+            .edge("B", "A", 1u32)
+            .build()
+            .unwrap();
+        let mut s = MatchState::initialise(&p, &g, &m);
+        let err = match_plus(&p, &mut g, &mut m, &mut s, NodeId::new(1), NodeId::new(2));
+        assert_eq!(err.unwrap_err(), GraphError::PatternNotAcyclic);
+    }
+
+    #[test]
+    fn irrelevant_insertion_changes_nothing() {
+        let (mut g, p, mut m, mut s) = setup();
+        // b -> a creates no new witnesses for A -[2]-> C.
+        let out = match_plus(&p, &mut g, &mut m, &mut s, NodeId::new(1), NodeId::new(0)).unwrap();
+        assert!(out.aff2.is_empty());
+        assert!(s.relation().is_empty());
+        let recomputed = bounded_simulation_with_oracle(&p, &g, &m);
+        assert_eq!(s.relation(), recomputed.relation);
+    }
+
+    #[test]
+    fn insertion_matches_recompute_on_random_updates() {
+        use gpm_datagen::{random_graph, RandomGraphConfig};
+        use rand::rngs::StdRng;
+        use rand::{Rng as _, SeedableRng as _};
+
+        for seed in 0..10u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut g = random_graph(&RandomGraphConfig::new(40, 80, 4).with_seed(seed));
+            // DAG pattern over the generated labels.
+            let (p, _) = PatternGraphBuilder::new()
+                .node("x", gpm_graph::Predicate::label("a0"))
+                .node("y", gpm_graph::Predicate::label("a1"))
+                .node("z", gpm_graph::Predicate::label("a2"))
+                .edge("x", "y", 2u32)
+                .edge("y", "z", 3u32)
+                .edge("x", "z", 4u32)
+                .build()
+                .unwrap();
+            let mut m = DistanceMatrix::build(&g);
+            let mut s = MatchState::initialise(&p, &g, &m);
+            for _ in 0..8 {
+                // Pick a random non-edge and insert it.
+                let a = NodeId::new(rng.gen_range(0..g.node_count() as u32));
+                let b = NodeId::new(rng.gen_range(0..g.node_count() as u32));
+                if g.has_edge(a, b) {
+                    continue;
+                }
+                match_plus(&p, &mut g, &mut m, &mut s, a, b).unwrap();
+                let recomputed = bounded_simulation_with_oracle(&p, &g, &m);
+                assert_eq!(s.relation(), recomputed.relation, "seed {seed}");
+            }
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # gpm-incremental
+//!
+//! Incremental graph pattern matching (Section 4 of Fan et al., VLDB 2010):
+//! maintain the maximum bounded-simulation match of a pattern while the data
+//! graph is updated by edge insertions and deletions, without recomputing it
+//! from scratch.
+//!
+//! * [`match_minus`] — the paper's `Match−` (Fig. 5): unit edge **deletion**,
+//!   arbitrary (possibly cyclic) patterns;
+//! * [`match_plus`] — `Match+` (Fig. 7): unit edge **insertion**, DAG
+//!   patterns;
+//! * [`inc_match`] — `IncMatch` (Fig. 8): a batch of updates, DAG patterns;
+//! * [`IncrementalMatcher`] — an owning facade that keeps the graph, the
+//!   distance matrix `M`, and the match state together and applies update
+//!   streams (what an application would actually embed).
+//!
+//! Every operation reports the affected areas: `AFF1` (node pairs whose
+//! distance changed — from `gpm-distance`) and `AFF2` (match pairs added or
+//! removed), whose sizes drive the `O(|AFF1| |AFF2|²)` bound of Theorem 4.1
+//! and the `|AFF|` annotations of Figures 6(i)–(k).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod affected;
+pub mod batch;
+pub mod delete;
+pub mod insert;
+pub mod maintainer;
+pub mod state;
+
+pub use affected::{Aff2, IncrementalStats};
+pub use batch::inc_match;
+pub use delete::match_minus;
+pub use insert::match_plus;
+pub use maintainer::IncrementalMatcher;
+pub use state::MatchState;
+
+/// Result alias for incremental operations.
+pub type Result<T> = std::result::Result<T, gpm_graph::GraphError>;

@@ -1,0 +1,280 @@
+//! `IncrementalMatcher` — an owning facade over the incremental machinery.
+//!
+//! The paper's workflow is: "compute matches in `G` once, and then
+//! incrementally maintain the matches when `G` is updated". This type bundles
+//! everything that workflow needs — the pattern, the evolving data graph, the
+//! distance matrix `M` and the match state — and routes updates to
+//! `Match−` / `Match+` / `IncMatch` as appropriate. For the combinations the
+//! incremental algorithms do not cover (insertions with cyclic patterns), it
+//! falls back to recomputation so callers always end up in a consistent
+//! state.
+
+use crate::affected::IncrementalOutcome;
+use crate::batch::inc_match;
+use crate::delete::match_minus;
+use crate::insert::match_plus;
+use crate::state::MatchState;
+use gpm_core::{MatchRelation, ResultGraph};
+use gpm_distance::{update_matrix, update_matrix_batch, DistanceMatrix, EdgeUpdate};
+use gpm_graph::{DataGraph, GraphError, PatternGraph};
+
+/// Owns a pattern, a data graph, the distance matrix and the match state, and
+/// keeps them consistent under edge updates.
+#[derive(Clone, Debug)]
+pub struct IncrementalMatcher {
+    pattern: PatternGraph,
+    graph: DataGraph,
+    matrix: DistanceMatrix,
+    state: MatchState,
+    recompute_fallbacks: usize,
+}
+
+impl IncrementalMatcher {
+    /// Builds the matcher: computes the distance matrix and the initial
+    /// maximum match (the "batch" phase).
+    pub fn new(pattern: PatternGraph, graph: DataGraph) -> Self {
+        let matrix = DistanceMatrix::build(&graph);
+        let state = MatchState::initialise(&pattern, &graph, &matrix);
+        IncrementalMatcher {
+            pattern,
+            graph,
+            matrix,
+            state,
+            recompute_fallbacks: 0,
+        }
+    }
+
+    /// The pattern being maintained.
+    pub fn pattern(&self) -> &PatternGraph {
+        &self.pattern
+    }
+
+    /// The current data graph.
+    pub fn graph(&self) -> &DataGraph {
+        &self.graph
+    }
+
+    /// The maintained distance matrix `M`.
+    pub fn matrix(&self) -> &DistanceMatrix {
+        &self.matrix
+    }
+
+    /// The current maximum match (`∅` if the pattern is not matched).
+    pub fn relation(&self) -> MatchRelation {
+        self.state.relation()
+    }
+
+    /// Whether the pattern currently matches the graph (`P ⊴ G`).
+    pub fn is_match(&self) -> bool {
+        self.state.all_matched()
+    }
+
+    /// The result graph of the current maximum match.
+    pub fn result_graph(&self) -> ResultGraph {
+        ResultGraph::build(&self.pattern, &self.graph, &self.relation())
+    }
+
+    /// How many times an update had to fall back to full recomputation
+    /// (insertions with a cyclic pattern).
+    pub fn recompute_fallbacks(&self) -> usize {
+        self.recompute_fallbacks
+    }
+
+    /// Applies a single edge update incrementally.
+    ///
+    /// Deletions use `Match−` (any pattern); insertions use `Match+` for DAG
+    /// patterns and fall back to maintaining the matrix incrementally plus
+    /// recomputing the match for cyclic patterns.
+    pub fn apply(&mut self, update: EdgeUpdate) -> Result<IncrementalOutcome, GraphError> {
+        match update {
+            EdgeUpdate::Delete(a, b) => match_minus(
+                &self.pattern,
+                &mut self.graph,
+                &mut self.matrix,
+                &mut self.state,
+                a,
+                b,
+            ),
+            EdgeUpdate::Insert(a, b) => {
+                if self.pattern.is_dag() {
+                    match_plus(
+                        &self.pattern,
+                        &mut self.graph,
+                        &mut self.matrix,
+                        &mut self.state,
+                        a,
+                        b,
+                    )
+                } else {
+                    self.graph.add_edge(a, b)?;
+                    let aff1 =
+                        update_matrix(&self.graph, &mut self.matrix, EdgeUpdate::Insert(a, b));
+                    self.recompute_state();
+                    Ok(IncrementalOutcome::new(aff1, Default::default(), 0))
+                }
+            }
+        }
+    }
+
+    /// Applies a batch of updates.
+    ///
+    /// DAG patterns use `IncMatch`; cyclic patterns maintain the matrix with
+    /// `UpdateBM` and recompute the match.
+    pub fn apply_batch(&mut self, updates: &[EdgeUpdate]) -> Result<IncrementalOutcome, GraphError> {
+        if self.pattern.is_dag() {
+            return inc_match(
+                &self.pattern,
+                &mut self.graph,
+                &mut self.matrix,
+                &mut self.state,
+                updates,
+            );
+        }
+        let mut applied = Vec::with_capacity(updates.len());
+        for u in updates {
+            if u.apply(&mut self.graph) {
+                applied.push(*u);
+            }
+        }
+        let aff1 = update_matrix_batch(&self.graph, &mut self.matrix, &applied);
+        self.recompute_state();
+        Ok(IncrementalOutcome::new(aff1, Default::default(), 0))
+    }
+
+    fn recompute_state(&mut self) {
+        self.recompute_fallbacks += 1;
+        self.state = MatchState::initialise(&self.pattern, &self.graph, &self.matrix);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_core::bounded_simulation_with_oracle;
+    use gpm_datagen::{random_graph, random_updates, RandomGraphConfig, UpdateStreamConfig};
+    use gpm_graph::{NodeId, PatternGraphBuilder, Predicate};
+
+    fn dag_pattern() -> PatternGraph {
+        let (p, _) = PatternGraphBuilder::new()
+            .node("x", Predicate::label("a0"))
+            .node("y", Predicate::label("a1"))
+            .node("z", Predicate::label("a2"))
+            .edge("x", "y", 2u32)
+            .edge("y", "z", 3u32)
+            .build()
+            .unwrap();
+        p
+    }
+
+    fn cyclic_pattern() -> PatternGraph {
+        let (p, _) = PatternGraphBuilder::new()
+            .node("x", Predicate::label("a0"))
+            .node("y", Predicate::label("a1"))
+            .edge("x", "y", 2u32)
+            .edge("y", "x", 2u32)
+            .build()
+            .unwrap();
+        p
+    }
+
+    #[test]
+    fn unit_updates_keep_matcher_consistent() {
+        let g = random_graph(&RandomGraphConfig::new(40, 90, 4).with_seed(5));
+        let mut matcher = IncrementalMatcher::new(dag_pattern(), g.clone());
+        let updates = random_updates(&g, &UpdateStreamConfig::mixed(30).with_seed(6));
+        for u in updates {
+            matcher.apply(u).unwrap();
+            let recomputed =
+                bounded_simulation_with_oracle(matcher.pattern(), matcher.graph(), matcher.matrix());
+            assert_eq!(matcher.relation(), recomputed.relation);
+        }
+        assert_eq!(matcher.recompute_fallbacks(), 0);
+    }
+
+    #[test]
+    fn batch_updates_keep_matcher_consistent() {
+        let g = random_graph(&RandomGraphConfig::new(40, 90, 4).with_seed(7));
+        let mut matcher = IncrementalMatcher::new(dag_pattern(), g.clone());
+        let updates = random_updates(&g, &UpdateStreamConfig::mixed(40).with_seed(8));
+        let out = matcher.apply_batch(&updates).unwrap();
+        assert_eq!(out.stats.aff1, out.aff1.len());
+        let recomputed =
+            bounded_simulation_with_oracle(matcher.pattern(), matcher.graph(), matcher.matrix());
+        assert_eq!(matcher.relation(), recomputed.relation);
+    }
+
+    #[test]
+    fn cyclic_pattern_falls_back_on_insertions() {
+        let g = random_graph(&RandomGraphConfig::new(30, 60, 4).with_seed(9));
+        let mut matcher = IncrementalMatcher::new(cyclic_pattern(), g.clone());
+        // Deletion: incremental (Match− supports cyclic patterns).
+        let (a, b) = g.edges().next().unwrap();
+        matcher.apply(EdgeUpdate::Delete(a, b)).unwrap();
+        assert_eq!(matcher.recompute_fallbacks(), 0);
+        // Insertion: falls back to recomputation.
+        let mut inserted = None;
+        'outer: for x in g.nodes() {
+            for y in g.nodes() {
+                if !matcher.graph().has_edge(x, y) {
+                    inserted = Some((x, y));
+                    break 'outer;
+                }
+            }
+        }
+        let (x, y) = inserted.unwrap();
+        matcher.apply(EdgeUpdate::Insert(x, y)).unwrap();
+        assert_eq!(matcher.recompute_fallbacks(), 1);
+        let recomputed =
+            bounded_simulation_with_oracle(matcher.pattern(), matcher.graph(), matcher.matrix());
+        assert_eq!(matcher.relation(), recomputed.relation);
+
+        // Batch with a cyclic pattern also falls back but stays consistent.
+        let updates = random_updates(matcher.graph(), &UpdateStreamConfig::mixed(10).with_seed(1));
+        matcher.apply_batch(&updates).unwrap();
+        assert_eq!(matcher.recompute_fallbacks(), 2);
+        let recomputed =
+            bounded_simulation_with_oracle(matcher.pattern(), matcher.graph(), matcher.matrix());
+        assert_eq!(matcher.relation(), recomputed.relation);
+    }
+
+    #[test]
+    fn accessors_and_result_graph() {
+        let g = random_graph(&RandomGraphConfig::new(25, 60, 3).with_seed(11));
+        let matcher = IncrementalMatcher::new(dag_pattern(), g);
+        assert_eq!(matcher.pattern().node_count(), 3);
+        assert_eq!(matcher.graph().node_count(), 25);
+        assert_eq!(matcher.matrix().node_count(), 25);
+        let rg = matcher.result_graph();
+        if matcher.is_match() {
+            assert!(!rg.is_empty());
+        } else {
+            assert!(rg.is_empty());
+        }
+    }
+
+    #[test]
+    fn invalid_updates_propagate_errors() {
+        let g = random_graph(&RandomGraphConfig::new(10, 20, 2).with_seed(13));
+        let mut matcher = IncrementalMatcher::new(dag_pattern(), g.clone());
+        // Delete a non-existent edge.
+        let missing = {
+            let mut found = None;
+            'outer: for x in g.nodes() {
+                for y in g.nodes() {
+                    if !g.has_edge(x, y) {
+                        found = Some((x, y));
+                        break 'outer;
+                    }
+                }
+            }
+            found.unwrap()
+        };
+        assert!(matcher
+            .apply(EdgeUpdate::Delete(missing.0, missing.1))
+            .is_err());
+        // Insert a node that does not exist.
+        assert!(matcher
+            .apply(EdgeUpdate::Insert(NodeId::new(999), NodeId::new(0)))
+            .is_err());
+    }
+}

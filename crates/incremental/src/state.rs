@@ -1,0 +1,307 @@
+//! The mutable matching state maintained across updates.
+//!
+//! The incremental algorithms keep, per pattern node `u`:
+//!
+//! * `mat(u)` — the data nodes currently matching `u` (the maximum match of
+//!   the *current* graph);
+//! * `can(u)` — the candidate set of the paper's `Match+`: nodes whose
+//!   attributes satisfy `f_v(u)` but which are **not** currently in `mat(u)`.
+//!   Since node attributes never change under edge updates, candidacy is
+//!   computed once.
+//!
+//! The externally reported relation follows the paper's convention: if some
+//! pattern node has an empty `mat(u)`, the match is `∅` (but the internal
+//! sets are kept so maintenance can continue and later insertions can revive
+//! the match).
+
+use gpm_core::{bounded_simulation_with_oracle, MatchRelation};
+use gpm_distance::DistanceOracle;
+use gpm_graph::{DataGraph, NodeId, PatternGraph, PatternNodeId};
+
+/// Per-pattern-node match and candidate sets.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MatchState {
+    /// `satisfies[u][v]`: does `v` satisfy the predicate of `u`?
+    satisfies: Vec<Vec<bool>>,
+    /// `mat[u][v]`: is `(u, v)` in the current maximum match?
+    mat: Vec<Vec<bool>>,
+    /// Number of `true` entries per row of `mat`.
+    live: Vec<usize>,
+}
+
+impl MatchState {
+    /// Initialises the state by running the batch `Match` algorithm against
+    /// the given oracle (this is the "compute matches once" step the paper
+    /// prescribes before switching to incremental maintenance).
+    pub fn initialise<O: DistanceOracle + ?Sized>(
+        pattern: &PatternGraph,
+        graph: &DataGraph,
+        oracle: &O,
+    ) -> Self {
+        let nv = graph.node_count();
+        let np = pattern.node_count();
+        let satisfies: Vec<Vec<bool>> = pattern
+            .node_ids()
+            .map(|u| {
+                let mut row = vec![false; nv];
+                for v in graph.nodes_satisfying(pattern.predicate(u)) {
+                    row[v.index()] = true;
+                }
+                row
+            })
+            .collect();
+
+        let outcome = bounded_simulation_with_oracle(pattern, graph, oracle);
+        let mut mat = vec![vec![false; nv]; np];
+        let mut live = vec![0usize; np];
+        // `Match` clears the whole relation when P ⋬ G; recover the per-node
+        // greatest-fixpoint sets by re-running the refinement on the
+        // non-cleared relation is unnecessary: an all-empty mat is a correct
+        // (and maintainable) representation only if *every* node is truly
+        // unmatched, which is not generally the case. We therefore recompute
+        // the greatest fixpoint without the final clearing step.
+        if outcome.relation.is_match(pattern) {
+            for (u, v) in outcome.relation.iter_pairs() {
+                mat[u.index()][v.index()] = true;
+                live[u.index()] += 1;
+            }
+        } else {
+            let fixpoint = greatest_fixpoint_sets(pattern, graph, oracle, &satisfies);
+            for (u_idx, row) in fixpoint.into_iter().enumerate() {
+                for v in row {
+                    mat[u_idx][v.index()] = true;
+                    live[u_idx] += 1;
+                }
+            }
+        }
+        MatchState {
+            satisfies,
+            mat,
+            live,
+        }
+    }
+
+    /// Number of pattern nodes.
+    pub fn pattern_node_count(&self) -> usize {
+        self.mat.len()
+    }
+
+    /// Whether `(u, v)` is in the current maximum match.
+    #[inline]
+    pub fn in_mat(&self, u: PatternNodeId, v: NodeId) -> bool {
+        self.mat[u.index()][v.index()]
+    }
+
+    /// Whether `v` is in `can(u)`: satisfies the predicate but is not matched.
+    #[inline]
+    pub fn in_can(&self, u: PatternNodeId, v: NodeId) -> bool {
+        self.satisfies[u.index()][v.index()] && !self.mat[u.index()][v.index()]
+    }
+
+    /// Whether `v` satisfies the predicate of `u` (candidate or matched).
+    #[inline]
+    pub fn satisfies(&self, u: PatternNodeId, v: NodeId) -> bool {
+        self.satisfies[u.index()][v.index()]
+    }
+
+    /// Adds `(u, v)` to the match; returns `true` if it was not present.
+    pub fn add(&mut self, u: PatternNodeId, v: NodeId) -> bool {
+        let slot = &mut self.mat[u.index()][v.index()];
+        if *slot {
+            return false;
+        }
+        *slot = true;
+        self.live[u.index()] += 1;
+        true
+    }
+
+    /// Removes `(u, v)` from the match; returns `true` if it was present.
+    pub fn remove(&mut self, u: PatternNodeId, v: NodeId) -> bool {
+        let slot = &mut self.mat[u.index()][v.index()];
+        if !*slot {
+            return false;
+        }
+        *slot = false;
+        self.live[u.index()] -= 1;
+        true
+    }
+
+    /// Number of matches of pattern node `u`.
+    pub fn live_count(&self, u: PatternNodeId) -> usize {
+        self.live[u.index()]
+    }
+
+    /// The data nodes currently matching `u` (ascending order).
+    pub fn matches_of(&self, u: PatternNodeId) -> Vec<NodeId> {
+        self.mat[u.index()]
+            .iter()
+            .enumerate()
+            .filter(|&(_v, &b)| b).map(|(v, &_b)| NodeId::new(v as u32))
+            .collect()
+    }
+
+    /// The candidate (non-matched, predicate-satisfying) nodes of `u`.
+    pub fn candidates_of(&self, u: PatternNodeId) -> Vec<NodeId> {
+        self.satisfies[u.index()]
+            .iter()
+            .enumerate()
+            .filter(|&(v, &s)| s && !self.mat[u.index()][v]).map(|(v, &_s)| NodeId::new(v as u32))
+            .collect()
+    }
+
+    /// Whether every pattern node currently has at least one match.
+    pub fn all_matched(&self) -> bool {
+        self.live.iter().all(|&c| c > 0)
+    }
+
+    /// The externally visible relation, following the paper's convention:
+    /// `∅` when some pattern node is unmatched, otherwise the mat sets.
+    pub fn relation(&self) -> MatchRelation {
+        if !self.all_matched() {
+            return MatchRelation::empty(self.mat.len());
+        }
+        MatchRelation::from_sets(
+            (0..self.mat.len())
+                .map(|u| self.matches_of(PatternNodeId::new(u as u32)))
+                .collect(),
+        )
+    }
+
+    /// The internal per-node sets as a relation, *without* the ∅ convention.
+    /// Used by tests to compare against a from-scratch greatest fixpoint.
+    pub fn raw_relation(&self) -> MatchRelation {
+        MatchRelation::from_sets(
+            (0..self.mat.len())
+                .map(|u| self.matches_of(PatternNodeId::new(u as u32)))
+                .collect(),
+        )
+    }
+}
+
+/// The per-node greatest fixpoint sets (naive iteration), *without* clearing
+/// when some node ends up empty. This is the invariant the incremental state
+/// maintains.
+pub(crate) fn greatest_fixpoint_sets<O: DistanceOracle + ?Sized>(
+    pattern: &PatternGraph,
+    graph: &DataGraph,
+    oracle: &O,
+    satisfies: &[Vec<bool>],
+) -> Vec<Vec<NodeId>> {
+    let mut sets: Vec<Vec<NodeId>> = satisfies
+        .iter()
+        .map(|row| {
+            row.iter()
+                .enumerate()
+                .filter(|&(_v, &s)| s).map(|(v, &_s)| NodeId::new(v as u32))
+                .collect()
+        })
+        .collect();
+    loop {
+        let mut changed = false;
+        for e in pattern.edges() {
+            let targets = sets[e.to.index()].clone();
+            let before = sets[e.from.index()].len();
+            sets[e.from.index()].retain(|&x| {
+                targets.iter().any(|&y| oracle.within(graph, x, y, e.bound))
+            });
+            if sets[e.from.index()].len() != before {
+                changed = true;
+            }
+        }
+        if !changed {
+            return sets;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_distance::DistanceMatrix;
+    use gpm_graph::{DataGraphBuilder, PatternGraphBuilder};
+
+    fn pn(i: u32) -> PatternNodeId {
+        PatternNodeId::new(i)
+    }
+
+    fn setup() -> (DataGraph, PatternGraph, DistanceMatrix) {
+        let (g, _) = DataGraphBuilder::new()
+            .labeled_node("A")
+            .labeled_node("B")
+            .labeled_node("C")
+            .path(&["A", "B", "C"])
+            .build()
+            .unwrap();
+        let (p, _) = PatternGraphBuilder::new()
+            .labeled_node("A")
+            .labeled_node("C")
+            .edge("A", "C", 2u32)
+            .build()
+            .unwrap();
+        let m = DistanceMatrix::build(&g);
+        (g, p, m)
+    }
+
+    #[test]
+    fn initialise_matches_batch_algorithm() {
+        let (g, p, m) = setup();
+        let state = MatchState::initialise(&p, &g, &m);
+        assert!(state.all_matched());
+        assert_eq!(state.live_count(pn(0)), 1);
+        assert_eq!(state.matches_of(pn(0)), vec![NodeId::new(0)]);
+        assert!(state.in_mat(pn(1), NodeId::new(2)));
+        // Node B satisfies neither predicate.
+        assert!(!state.satisfies(pn(0), NodeId::new(1)));
+        let relation = state.relation();
+        assert!(relation.is_match(&p));
+    }
+
+    #[test]
+    fn candidates_exclude_matches() {
+        let (mut g, p, _) = setup();
+        // Add another node labelled A with no outgoing edges: it satisfies
+        // the predicate of pattern node A but cannot match it.
+        let extra = g.add_node(gpm_graph::Attributes::labeled("A"));
+        let m = DistanceMatrix::build(&g);
+        let state = MatchState::initialise(&p, &g, &m);
+        assert!(state.in_can(pn(0), extra));
+        assert!(!state.in_mat(pn(0), extra));
+        assert_eq!(state.candidates_of(pn(0)), vec![extra]);
+    }
+
+    #[test]
+    fn add_remove_bookkeeping() {
+        let (g, p, m) = setup();
+        let mut state = MatchState::initialise(&p, &g, &m);
+        let v = NodeId::new(0);
+        assert!(!state.add(pn(0), v), "already present");
+        assert!(state.remove(pn(0), v));
+        assert!(!state.remove(pn(0), v));
+        assert_eq!(state.live_count(pn(0)), 0);
+        assert!(!state.all_matched());
+        // The reported relation collapses to ∅, but the raw sets keep node C.
+        assert!(state.relation().is_empty());
+        assert_eq!(state.raw_relation().matches_of(pn(1)).len(), 1);
+        assert!(state.add(pn(0), v));
+        assert!(state.all_matched());
+    }
+
+    #[test]
+    fn initialise_when_pattern_does_not_match_keeps_partial_sets() {
+        // Pattern A -[1]-> Z cannot match (no Z nodes), but the fixpoint of
+        // the Z node set is empty while... A's set is also empty (no witness).
+        // Use a pattern where one node matches and another does not.
+        let (g, _, _) = setup();
+        let (p, _) = PatternGraphBuilder::new()
+            .labeled_node("A")
+            .labeled_node("Z")
+            .build()
+            .unwrap(); // no edges: two isolated pattern nodes
+        let m = DistanceMatrix::build(&g);
+        let state = MatchState::initialise(&p, &g, &m);
+        assert!(!state.all_matched());
+        assert_eq!(state.live_count(pn(0)), 1, "A still has its fixpoint match");
+        assert_eq!(state.live_count(pn(1)), 0);
+        assert!(state.relation().is_empty());
+    }
+}

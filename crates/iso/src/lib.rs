@@ -1,0 +1,32 @@
+//! # gpm-iso
+//!
+//! Subgraph-isomorphism baselines for the evaluation of Exp-1:
+//!
+//! * [`ullmann`] — `SubIso`, Ullmann's backtracking algorithm with candidate
+//!   refinement (the paper's `SubIso` baseline, Ullmann 1976);
+//! * [`vf2`] — the VF2 algorithm with the standard feasibility rules
+//!   (Cordella et al.), "a widely used algorithm for efficiently identifying
+//!   isomorphic subgraphs".
+//!
+//! Both enumerate **injective embeddings** of the pattern into the data graph
+//! where every pattern edge must be witnessed by a *direct* data edge and
+//! every pattern node's predicate must be satisfied — i.e. the traditional
+//! semantics the paper contrasts with bounded simulation. Pattern-edge bounds
+//! are ignored (treated as 1), exactly like the paper's comparison, which
+//! sets `k = 1` "to favor SubIso".
+//!
+//! Because the number of embeddings can be exponential, enumeration is capped
+//! by [`IsoConfig::max_embeddings`] and [`IsoConfig::max_steps`]; the outcome
+//! records whether a cap was hit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod candidates;
+pub mod embedding;
+pub mod ullmann;
+pub mod vf2;
+
+pub use embedding::{Embedding, IsoConfig, IsoOutcome};
+pub use ullmann::subgraph_isomorphism_ullmann;
+pub use vf2::subgraph_isomorphism_vf2;

@@ -1,0 +1,318 @@
+//! `SubIso`: Ullmann's subgraph isomorphism algorithm (Ullmann, JACM 1976).
+//!
+//! The classic backtracking enumeration over a candidate matrix with the
+//! refinement step: a candidate `v` for pattern node `u` survives only if
+//! every pattern neighbour of `u` still has a compatible candidate among the
+//! corresponding data neighbours of `v`. The paper uses `SubIso` as the
+//! baseline of Exp-1 to show that subgraph isomorphism finds far fewer (and
+//! sometimes no) matches than bounded simulation.
+
+use crate::candidates::CandidateSets;
+use crate::embedding::{Embedding, IsoConfig, IsoOutcome};
+use gpm_graph::{DataGraph, NodeId, PatternGraph, PatternNodeId};
+
+/// Enumerates subgraph-isomorphism embeddings of `pattern` in `graph` with
+/// Ullmann's algorithm.
+pub fn subgraph_isomorphism_ullmann(
+    pattern: &PatternGraph,
+    graph: &DataGraph,
+    config: &IsoConfig,
+) -> IsoOutcome {
+    let np = pattern.node_count();
+    let mut outcome = IsoOutcome::default();
+    if np == 0 {
+        // The empty pattern has exactly one (empty) embedding.
+        outcome.embeddings.push(Embedding { nodes: Vec::new() });
+        return outcome;
+    }
+    let candidates = CandidateSets::compute(pattern, graph);
+    if candidates.any_empty() {
+        return outcome;
+    }
+
+    // Candidate matrix M[u][v] = true iff v is currently a candidate for u.
+    let nv = graph.node_count();
+    let mut matrix: Vec<Vec<bool>> = vec![vec![false; nv]; np];
+    for u in pattern.node_ids() {
+        for &v in candidates.of(u) {
+            matrix[u.index()][v.index()] = true;
+        }
+    }
+    if !refine(pattern, graph, &mut matrix) {
+        return outcome;
+    }
+
+    let order = candidates.matching_order(pattern);
+    let mut assignment: Vec<Option<NodeId>> = vec![None; np];
+    let mut used: Vec<bool> = vec![false; nv];
+    search(
+        pattern,
+        graph,
+        config,
+        &order,
+        0,
+        &matrix,
+        &mut assignment,
+        &mut used,
+        &mut outcome,
+    );
+    outcome
+}
+
+/// Ullmann's refinement: repeatedly drop candidates that lack a compatible
+/// neighbour candidate, until a fixpoint. Returns `false` if some pattern
+/// node loses all candidates.
+fn refine(pattern: &PatternGraph, graph: &DataGraph, matrix: &mut [Vec<bool>]) -> bool {
+    loop {
+        let mut changed = false;
+        for u in pattern.node_ids() {
+            for v in 0..matrix[u.index()].len() {
+                if !matrix[u.index()][v] {
+                    continue;
+                }
+                let vid = NodeId::new(v as u32);
+                // For every pattern edge u -> w, v must have a successor
+                // candidate of w; for every w -> u, a predecessor candidate.
+                let ok_out = pattern.children(u).all(|w| {
+                    graph
+                        .out_neighbors(vid)
+                        .iter()
+                        .any(|&x| matrix[w.index()][x.index()])
+                });
+                let ok_in = pattern.parents(u).all(|w| {
+                    graph
+                        .in_neighbors(vid)
+                        .iter()
+                        .any(|&x| matrix[w.index()][x.index()])
+                });
+                if !(ok_out && ok_in) {
+                    matrix[u.index()][v] = false;
+                    changed = true;
+                }
+            }
+            if matrix[u.index()].iter().all(|&b| !b) {
+                return false;
+            }
+        }
+        if !changed {
+            return true;
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn search(
+    pattern: &PatternGraph,
+    graph: &DataGraph,
+    config: &IsoConfig,
+    order: &[PatternNodeId],
+    depth: usize,
+    matrix: &[Vec<bool>],
+    assignment: &mut Vec<Option<NodeId>>,
+    used: &mut Vec<bool>,
+    outcome: &mut IsoOutcome,
+) -> bool {
+    if outcome.embeddings.len() >= config.max_embeddings || outcome.steps >= config.max_steps {
+        outcome.truncated = true;
+        return false;
+    }
+    if depth == order.len() {
+        let nodes = assignment
+            .iter()
+            .map(|v| v.expect("complete assignment"))
+            .collect();
+        outcome.embeddings.push(Embedding { nodes });
+        return true;
+    }
+    let u = order[depth];
+    for v in 0..matrix[u.index()].len() {
+        if !matrix[u.index()][v] || used[v] {
+            continue;
+        }
+        let vid = NodeId::new(v as u32);
+        outcome.steps += 1;
+        if !consistent_with_assigned(pattern, graph, u, vid, assignment) {
+            continue;
+        }
+        assignment[u.index()] = Some(vid);
+        used[v] = true;
+        search(
+            pattern, graph, config, order, depth + 1, matrix, assignment, used, outcome,
+        );
+        assignment[u.index()] = None;
+        used[v] = false;
+        if outcome.truncated {
+            return false;
+        }
+    }
+    true
+}
+
+/// Checks that mapping `u -> v` preserves all pattern edges towards already
+/// assigned pattern nodes.
+fn consistent_with_assigned(
+    pattern: &PatternGraph,
+    graph: &DataGraph,
+    u: PatternNodeId,
+    v: NodeId,
+    assignment: &[Option<NodeId>],
+) -> bool {
+    for e in pattern.out_edges(u) {
+        if let Some(w) = assignment[e.to.index()] {
+            if !graph.has_edge(v, w) {
+                return false;
+            }
+        }
+    }
+    for e in pattern.in_edges(u) {
+        if let Some(w) = assignment[e.from.index()] {
+            if !graph.has_edge(w, v) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_graph::{Attributes, DataGraphBuilder, PatternGraphBuilder};
+
+    fn triangle_data() -> DataGraph {
+        let (g, _) = DataGraphBuilder::new()
+            .labeled_node("A")
+            .labeled_node("B")
+            .labeled_node("C")
+            .edge("A", "B")
+            .edge("B", "C")
+            .edge("C", "A")
+            .build()
+            .unwrap();
+        g
+    }
+
+    #[test]
+    fn finds_single_embedding() {
+        let g = triangle_data();
+        let (p, _) = PatternGraphBuilder::new()
+            .labeled_node("A")
+            .labeled_node("B")
+            .edge("A", "B", 1u32)
+            .build()
+            .unwrap();
+        let out = subgraph_isomorphism_ullmann(&p, &g, &IsoConfig::default());
+        assert_eq!(out.count(), 1);
+        assert!(out.embeddings[0].verify(&p, &g));
+        assert!(!out.truncated);
+    }
+
+    #[test]
+    fn no_embedding_when_edge_missing() {
+        let g = triangle_data();
+        let (p, _) = PatternGraphBuilder::new()
+            .labeled_node("B")
+            .labeled_node("A")
+            .edge("B", "A", 1u32)
+            .build()
+            .unwrap();
+        let out = subgraph_isomorphism_ullmann(&p, &g, &IsoConfig::default());
+        assert!(!out.is_match());
+    }
+
+    #[test]
+    fn injectivity_is_enforced() {
+        // Data: a single node with a self-loop labelled A; pattern: two A
+        // nodes connected both ways. Bounded simulation would match this,
+        // subgraph isomorphism must not (needs two distinct nodes).
+        let mut g = DataGraph::new();
+        let a = g.add_node(Attributes::labeled("A"));
+        g.add_edge(a, a).unwrap();
+        let (p, _) = PatternGraphBuilder::new()
+            .labeled_node("A")
+            .node("A2", gpm_graph::Predicate::label("A"))
+            .edge("A", "A2", 1u32)
+            .edge("A2", "A", 1u32)
+            .build()
+            .unwrap();
+        let out = subgraph_isomorphism_ullmann(&p, &g, &IsoConfig::default());
+        assert!(!out.is_match());
+    }
+
+    #[test]
+    fn counts_all_embeddings_of_symmetric_pattern() {
+        // Data: hub -> l1, hub -> l2; pattern: Hub -> Leaf gives 2 embeddings.
+        let (g, _) = DataGraphBuilder::new()
+            .labeled_node("Hub")
+            .node("l1", Attributes::labeled("Leaf"))
+            .node("l2", Attributes::labeled("Leaf"))
+            .edge("Hub", "l1")
+            .edge("Hub", "l2")
+            .build()
+            .unwrap();
+        let (p, _) = PatternGraphBuilder::new()
+            .labeled_node("Hub")
+            .labeled_node("Leaf")
+            .edge("Hub", "Leaf", 1u32)
+            .build()
+            .unwrap();
+        let out = subgraph_isomorphism_ullmann(&p, &g, &IsoConfig::default());
+        assert_eq!(out.count(), 2);
+        for e in &out.embeddings {
+            assert!(e.verify(&p, &g));
+        }
+    }
+
+    #[test]
+    fn truncation_by_embedding_cap() {
+        let (g, _) = DataGraphBuilder::new()
+            .labeled_node("Hub")
+            .node("l1", Attributes::labeled("Leaf"))
+            .node("l2", Attributes::labeled("Leaf"))
+            .node("l3", Attributes::labeled("Leaf"))
+            .edge("Hub", "l1")
+            .edge("Hub", "l2")
+            .edge("Hub", "l3")
+            .build()
+            .unwrap();
+        let (p, _) = PatternGraphBuilder::new()
+            .labeled_node("Hub")
+            .labeled_node("Leaf")
+            .edge("Hub", "Leaf", 1u32)
+            .build()
+            .unwrap();
+        let cfg = IsoConfig {
+            max_embeddings: 2,
+            ..Default::default()
+        };
+        let out = subgraph_isomorphism_ullmann(&p, &g, &cfg);
+        assert_eq!(out.count(), 2);
+        assert!(out.truncated);
+    }
+
+    #[test]
+    fn empty_pattern_has_one_empty_embedding() {
+        let g = triangle_data();
+        let p = PatternGraph::new();
+        let out = subgraph_isomorphism_ullmann(&p, &g, &IsoConfig::default());
+        assert_eq!(out.count(), 1);
+        assert!(out.embeddings[0].nodes.is_empty());
+    }
+
+    #[test]
+    fn triangle_pattern_in_triangle_graph() {
+        let g = triangle_data();
+        let (p, _) = PatternGraphBuilder::new()
+            .labeled_node("A")
+            .labeled_node("B")
+            .labeled_node("C")
+            .edge("A", "B", 1u32)
+            .edge("B", "C", 1u32)
+            .edge("C", "A", 1u32)
+            .build()
+            .unwrap();
+        let out = subgraph_isomorphism_ullmann(&p, &g, &IsoConfig::default());
+        assert_eq!(out.count(), 1);
+        assert!(out.embeddings[0].verify(&p, &g));
+    }
+}

@@ -1,0 +1,426 @@
+//! VF2 subgraph isomorphism (Cordella, Foggia, Sansone & Vento).
+//!
+//! VF2 maintains a partial mapping ("core") plus terminal sets (nodes
+//! adjacent to the core on either side) and extends the mapping one pair at
+//! a time, pruning with:
+//!
+//! * **syntactic feasibility** — every pattern edge between the new pair and
+//!   the core must exist in the data graph (both directions), and
+//! * **look-ahead** — the pattern node must not require more terminal /
+//!   unexplored neighbours than the data node has available.
+//!
+//! The paper uses VF2 as the efficiency baseline of Fig. 6(b)/(c) ("a widely
+//! used algorithm for efficiently identifying isomorphic subgraphs").
+
+use crate::candidates::CandidateSets;
+use crate::embedding::{Embedding, IsoConfig, IsoOutcome};
+use gpm_graph::{DataGraph, NodeId, PatternGraph, PatternNodeId};
+
+/// Enumerates subgraph-isomorphism embeddings of `pattern` in `graph` with
+/// the VF2 algorithm.
+pub fn subgraph_isomorphism_vf2(
+    pattern: &PatternGraph,
+    graph: &DataGraph,
+    config: &IsoConfig,
+) -> IsoOutcome {
+    let mut outcome = IsoOutcome::default();
+    if pattern.node_count() == 0 {
+        outcome.embeddings.push(Embedding { nodes: Vec::new() });
+        return outcome;
+    }
+    let candidates = CandidateSets::compute(pattern, graph);
+    if candidates.any_empty() {
+        return outcome;
+    }
+    let mut state = Vf2State::new(pattern, graph, candidates);
+    state.search(config, &mut outcome);
+    outcome
+}
+
+struct Vf2State<'a> {
+    pattern: &'a PatternGraph,
+    graph: &'a DataGraph,
+    candidates: CandidateSets,
+    /// Pattern-node -> data-node mapping (None = unmapped).
+    core_p: Vec<Option<NodeId>>,
+    /// Data-node -> pattern-node mapping (None = unmapped).
+    core_g: Vec<Option<PatternNodeId>>,
+    /// Depth (1-based) at which a data node entered the "out" terminal set.
+    out_g: Vec<usize>,
+    /// Depth at which a data node entered the "in" terminal set.
+    in_g: Vec<usize>,
+    /// Same for pattern nodes.
+    out_p: Vec<usize>,
+    in_p: Vec<usize>,
+    depth: usize,
+}
+
+impl<'a> Vf2State<'a> {
+    fn new(pattern: &'a PatternGraph, graph: &'a DataGraph, candidates: CandidateSets) -> Self {
+        Vf2State {
+            pattern,
+            graph,
+            candidates,
+            core_p: vec![None; pattern.node_count()],
+            core_g: vec![None; graph.node_count()],
+            out_g: vec![0; graph.node_count()],
+            in_g: vec![0; graph.node_count()],
+            out_p: vec![0; pattern.node_count()],
+            in_p: vec![0; pattern.node_count()],
+            depth: 0,
+        }
+    }
+
+    fn search(&mut self, config: &IsoConfig, outcome: &mut IsoOutcome) {
+        if outcome.embeddings.len() >= config.max_embeddings || outcome.steps >= config.max_steps {
+            outcome.truncated = true;
+            return;
+        }
+        if self.depth == self.pattern.node_count() {
+            let nodes = self
+                .core_p
+                .iter()
+                .map(|v| v.expect("complete mapping"))
+                .collect();
+            outcome.embeddings.push(Embedding { nodes });
+            return;
+        }
+
+        let u = match self.next_pattern_node() {
+            Some(u) => u,
+            None => return,
+        };
+        // Candidate data nodes for u, restricted to the matching terminal set
+        // when u itself is in a terminal set (the VF2 pair-generation rule).
+        let data_candidates: Vec<NodeId> = self
+            .candidates
+            .of(u)
+            .iter()
+            .copied()
+            .filter(|&v| self.core_g[v.index()].is_none())
+            .filter(|&v| {
+                if self.out_p[u.index()] > 0 {
+                    self.out_g[v.index()] > 0
+                } else if self.in_p[u.index()] > 0 {
+                    self.in_g[v.index()] > 0
+                } else {
+                    true
+                }
+            })
+            .collect();
+
+        for v in data_candidates {
+            outcome.steps += 1;
+            if outcome.steps >= config.max_steps {
+                outcome.truncated = true;
+                return;
+            }
+            if !self.feasible(u, v) {
+                continue;
+            }
+            let saved = self.push_pair(u, v);
+            self.search(config, outcome);
+            self.pop_pair(u, v, saved);
+            if outcome.truncated || outcome.embeddings.len() >= config.max_embeddings {
+                if outcome.embeddings.len() >= config.max_embeddings {
+                    outcome.truncated = true;
+                }
+                return;
+            }
+        }
+    }
+
+    /// Picks the next pattern node to map: prefer nodes in the terminal sets
+    /// (connected to the core), smallest candidate list first.
+    fn next_pattern_node(&self) -> Option<PatternNodeId> {
+        let unmapped = |u: &PatternNodeId| self.core_p[u.index()].is_none();
+        let by_candidates =
+            |u: &PatternNodeId| (self.candidates.of(*u).len(), u.index());
+
+        let terminal: Option<PatternNodeId> = self
+            .pattern
+            .node_ids()
+            .filter(unmapped)
+            .filter(|u| self.out_p[u.index()] > 0 || self.in_p[u.index()] > 0)
+            .min_by_key(by_candidates);
+        if terminal.is_some() {
+            return terminal;
+        }
+        self.pattern
+            .node_ids()
+            .filter(unmapped)
+            .min_by_key(by_candidates)
+    }
+
+    /// Syntactic feasibility + look-ahead for the candidate pair `(u, v)`.
+    fn feasible(&self, u: PatternNodeId, v: NodeId) -> bool {
+        // Edges between u and the mapped core must exist in the data graph.
+        for e in self.pattern.out_edges(u) {
+            if let Some(w) = self.core_p[e.to.index()] {
+                if !self.graph.has_edge(v, w) {
+                    return false;
+                }
+            }
+        }
+        for e in self.pattern.in_edges(u) {
+            if let Some(w) = self.core_p[e.from.index()] {
+                if !self.graph.has_edge(w, v) {
+                    return false;
+                }
+            }
+        }
+        // Look-ahead: count pattern neighbours of u in the terminal sets and
+        // outside; v must offer at least as many on the data side.
+        let (mut p_term_out, mut p_term_in, mut p_new) = (0usize, 0usize, 0usize);
+        for w in self.pattern.children(u).chain(self.pattern.parents(u)) {
+            if self.core_p[w.index()].is_some() {
+                continue;
+            }
+            if self.out_p[w.index()] > 0 {
+                p_term_out += 1;
+            } else if self.in_p[w.index()] > 0 {
+                p_term_in += 1;
+            } else {
+                p_new += 1;
+            }
+        }
+        let (mut g_term_out, mut g_term_in, mut g_new) = (0usize, 0usize, 0usize);
+        for &w in self
+            .graph
+            .out_neighbors(v)
+            .iter()
+            .chain(self.graph.in_neighbors(v).iter())
+        {
+            if self.core_g[w.index()].is_some() {
+                continue;
+            }
+            if self.out_g[w.index()] > 0 {
+                g_term_out += 1;
+            } else if self.in_g[w.index()] > 0 {
+                g_term_in += 1;
+            } else {
+                g_new += 1;
+            }
+        }
+        g_term_out >= p_term_out && g_term_in >= p_term_in && (g_new + g_term_out + g_term_in) >= (p_new + p_term_out + p_term_in)
+    }
+
+    /// Adds `(u, v)` to the core and updates the terminal sets; returns the
+    /// bookkeeping needed to undo the operation.
+    fn push_pair(&mut self, u: PatternNodeId, v: NodeId) -> PushUndo {
+        self.depth += 1;
+        self.core_p[u.index()] = Some(v);
+        self.core_g[v.index()] = Some(u);
+        let mut undo = PushUndo::default();
+        let depth = self.depth;
+
+        for w in self.pattern.children(u).collect::<Vec<_>>() {
+            if self.out_p[w.index()] == 0 {
+                self.out_p[w.index()] = depth;
+                undo.p_out.push(w);
+            }
+        }
+        for w in self.pattern.parents(u).collect::<Vec<_>>() {
+            if self.in_p[w.index()] == 0 {
+                self.in_p[w.index()] = depth;
+                undo.p_in.push(w);
+            }
+        }
+        for &w in self.graph.out_neighbors(v) {
+            if self.out_g[w.index()] == 0 {
+                self.out_g[w.index()] = depth;
+                undo.g_out.push(w);
+            }
+        }
+        for &w in self.graph.in_neighbors(v) {
+            if self.in_g[w.index()] == 0 {
+                self.in_g[w.index()] = depth;
+                undo.g_in.push(w);
+            }
+        }
+        undo
+    }
+
+    fn pop_pair(&mut self, u: PatternNodeId, v: NodeId, undo: PushUndo) {
+        for w in undo.p_out {
+            self.out_p[w.index()] = 0;
+        }
+        for w in undo.p_in {
+            self.in_p[w.index()] = 0;
+        }
+        for w in undo.g_out {
+            self.out_g[w.index()] = 0;
+        }
+        for w in undo.g_in {
+            self.in_g[w.index()] = 0;
+        }
+        self.core_p[u.index()] = None;
+        self.core_g[v.index()] = None;
+        self.depth -= 1;
+    }
+}
+
+#[derive(Default)]
+struct PushUndo {
+    p_out: Vec<PatternNodeId>,
+    p_in: Vec<PatternNodeId>,
+    g_out: Vec<NodeId>,
+    g_in: Vec<NodeId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ullmann::subgraph_isomorphism_ullmann;
+    use gpm_graph::{Attributes, DataGraphBuilder, EdgeBound, PatternGraphBuilder, Predicate};
+    use rand::rngs::StdRng;
+    use rand::{Rng as _, SeedableRng as _};
+    use rustc_hash::FxHashSet;
+
+    #[test]
+    fn simple_match_and_mismatch() {
+        let (g, _) = DataGraphBuilder::new()
+            .labeled_node("A")
+            .labeled_node("B")
+            .labeled_node("C")
+            .edge("A", "B")
+            .edge("B", "C")
+            .build()
+            .unwrap();
+        let (p, _) = PatternGraphBuilder::new()
+            .labeled_node("A")
+            .labeled_node("B")
+            .labeled_node("C")
+            .edge("A", "B", 1u32)
+            .edge("B", "C", 1u32)
+            .build()
+            .unwrap();
+        let out = subgraph_isomorphism_vf2(&p, &g, &IsoConfig::default());
+        assert_eq!(out.count(), 1);
+        assert!(out.embeddings[0].verify(&p, &g));
+
+        let (p2, _) = PatternGraphBuilder::new()
+            .labeled_node("C")
+            .labeled_node("A")
+            .edge("C", "A", 1u32)
+            .build()
+            .unwrap();
+        assert!(!subgraph_isomorphism_vf2(&p2, &g, &IsoConfig::default()).is_match());
+    }
+
+    #[test]
+    fn empty_pattern() {
+        let g = DataGraph::new();
+        let p = PatternGraph::new();
+        let out = subgraph_isomorphism_vf2(&p, &g, &IsoConfig::default());
+        assert_eq!(out.count(), 1);
+    }
+
+    #[test]
+    fn symmetric_pattern_counts_all_embeddings() {
+        let (g, _) = DataGraphBuilder::new()
+            .labeled_node("Hub")
+            .node("l1", Attributes::labeled("Leaf"))
+            .node("l2", Attributes::labeled("Leaf"))
+            .node("l3", Attributes::labeled("Leaf"))
+            .edge("Hub", "l1")
+            .edge("Hub", "l2")
+            .edge("Hub", "l3")
+            .build()
+            .unwrap();
+        let (p, _) = PatternGraphBuilder::new()
+            .labeled_node("Hub")
+            .labeled_node("Leaf")
+            .node("Leaf2", Predicate::label("Leaf"))
+            .edge("Hub", "Leaf", 1u32)
+            .edge("Hub", "Leaf2", 1u32)
+            .build()
+            .unwrap();
+        // 3 choices for Leaf × 2 remaining for Leaf2 = 6 embeddings.
+        let out = subgraph_isomorphism_vf2(&p, &g, &IsoConfig::default());
+        assert_eq!(out.count(), 6);
+        for e in &out.embeddings {
+            assert!(e.verify(&p, &g));
+        }
+    }
+
+    #[test]
+    fn truncation_caps_are_respected() {
+        let (g, _) = DataGraphBuilder::new()
+            .labeled_node("Hub")
+            .node("l1", Attributes::labeled("Leaf"))
+            .node("l2", Attributes::labeled("Leaf"))
+            .node("l3", Attributes::labeled("Leaf"))
+            .edge("Hub", "l1")
+            .edge("Hub", "l2")
+            .edge("Hub", "l3")
+            .build()
+            .unwrap();
+        let (p, _) = PatternGraphBuilder::new()
+            .labeled_node("Hub")
+            .labeled_node("Leaf")
+            .edge("Hub", "Leaf", 1u32)
+            .build()
+            .unwrap();
+        let out = subgraph_isomorphism_vf2(
+            &p,
+            &g,
+            &IsoConfig {
+                max_embeddings: 1,
+                ..Default::default()
+            },
+        );
+        assert_eq!(out.count(), 1);
+        assert!(out.truncated);
+    }
+
+    /// Random labelled instance shared by the differential test below.
+    fn random_instance(seed: u64) -> (DataGraph, PatternGraph) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let labels = ["A", "B", "C"];
+        let n = rng.gen_range(4..10usize);
+        let mut g = DataGraph::new();
+        for _ in 0..n {
+            g.add_node(Attributes::labeled(labels[rng.gen_range(0..labels.len())]));
+        }
+        for _ in 0..rng.gen_range(3..n * 2) {
+            let a = NodeId::new(rng.gen_range(0..n as u32));
+            let b = NodeId::new(rng.gen_range(0..n as u32));
+            if a != b {
+                let _ = g.try_add_edge(a, b);
+            }
+        }
+        let mut p = PatternGraph::new();
+        let pn = rng.gen_range(2..4usize);
+        for _ in 0..pn {
+            p.add_node(Predicate::label(labels[rng.gen_range(0..labels.len())]));
+        }
+        for _ in 0..rng.gen_range(1..pn * 2) {
+            let a = PatternNodeId::new(rng.gen_range(0..pn as u32));
+            let b = PatternNodeId::new(rng.gen_range(0..pn as u32));
+            if a != b {
+                let _ = p.add_edge(a, b, EdgeBound::ONE);
+            }
+        }
+        (g, p)
+    }
+
+    /// VF2 and Ullmann enumerate exactly the same embedding sets.
+    #[test]
+    fn differential_vf2_vs_ullmann() {
+        for seed in 0..60u64 {
+            let (g, p) = random_instance(seed);
+            let cfg = IsoConfig::default();
+            let a = subgraph_isomorphism_vf2(&p, &g, &cfg);
+            let b = subgraph_isomorphism_ullmann(&p, &g, &cfg);
+            let sa: FxHashSet<Vec<NodeId>> =
+                a.embeddings.iter().map(|e| e.nodes.clone()).collect();
+            let sb: FxHashSet<Vec<NodeId>> =
+                b.embeddings.iter().map(|e| e.nodes.clone()).collect();
+            assert_eq!(sa, sb, "seed {seed}");
+            for e in a.embeddings.iter().chain(b.embeddings.iter()) {
+                assert!(e.verify(&p, &g), "invalid embedding at seed {seed}");
+            }
+        }
+    }
+}

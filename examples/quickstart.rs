@@ -1,0 +1,60 @@
+//! Quickstart: build a small attributed graph, write a bounded-simulation
+//! pattern, compute the maximum match and print the result graph.
+//!
+//! Run with `cargo run -p gpm --example quickstart`.
+
+use gpm::{bounded_simulation, CmpOp, DataGraphBuilder, PatternGraphBuilder, Predicate, ResultGraph};
+
+fn main() {
+    // A toy collaboration network: people with a role and a seniority score.
+    // Edges mean "works with / reports to".
+    let (graph, _) = DataGraphBuilder::new()
+        .node("alice", [("role", "architect")].into_iter().collect::<gpm::Attributes>()
+            .with("seniority", 9))
+        .node("bob", gpm::Attributes::new().with("role", "engineer").with("seniority", 4))
+        .node("carol", gpm::Attributes::new().with("role", "engineer").with("seniority", 7))
+        .node("dave", gpm::Attributes::new().with("role", "analyst").with("seniority", 5))
+        .node("erin", gpm::Attributes::new().with("role", "analyst").with("seniority", 2))
+        .edge("alice", "bob")
+        .edge("bob", "carol")
+        .edge("carol", "dave")
+        .edge("alice", "erin")
+        .edge("erin", "dave")
+        .edge("dave", "alice")
+        .build()
+        .expect("valid graph description");
+
+    // Pattern: a senior architect connected, within 2 hops, to an engineer
+    // who can reach (any number of hops) an analyst.
+    let (pattern, ids) = PatternGraphBuilder::new()
+        .node(
+            "architect",
+            Predicate::label_eq("role", "architect").and("seniority", CmpOp::Ge, 8),
+        )
+        .node("engineer", Predicate::label_eq("role", "engineer"))
+        .node("analyst", Predicate::label_eq("role", "analyst"))
+        .edge("architect", "engineer", 2u32)
+        .unbounded_edge("engineer", "analyst")
+        .build()
+        .expect("valid pattern description");
+
+    let outcome = bounded_simulation(&pattern, &graph);
+    println!(
+        "pattern matches: {}  (|S| = {} pairs)",
+        outcome.relation.is_match(&pattern),
+        outcome.relation.pair_count()
+    );
+    for (name, id) in [("architect", ids["architect"]), ("engineer", ids["engineer"]), ("analyst", ids["analyst"])] {
+        let matched: Vec<String> = outcome
+            .relation
+            .matches_of(id)
+            .iter()
+            .map(|v| format!("{v}"))
+            .collect();
+        println!("  {name:<10} -> {}", matched.join(", "));
+    }
+
+    // The result graph is the compact representation of the whole match.
+    let rg = ResultGraph::build(&pattern, &graph, &outcome.relation);
+    println!("\n{}", rg.render(&pattern, &graph));
+}

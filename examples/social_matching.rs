@@ -1,0 +1,129 @@
+//! Example 2.1/2.2 of the paper: social matching (pattern P1 over graph G1)
+//! and cross-disciplinary collaboration (pattern P2 over graph G2).
+//!
+//! P1: to start a company, user A looks for a software engineer (SE) and an
+//! HR expert within 2 hops, and sales-department managers (DM) who play golf,
+//! are within 1 hop of the SE and 2 hops of the HR person, and are connected
+//! to A by a chain of friends.
+//!
+//! Run with `cargo run -p gpm --example social_matching`.
+
+use gpm::{
+    bounded_simulation, Attributes, CmpOp, DataGraphBuilder, EdgeBound, PatternGraphBuilder,
+    Predicate,
+};
+
+fn main() {
+    // ---- P1 / G1 : the Facebook-style start-up team --------------------
+    // G1 nodes: A, HR, SE, a person who is both HR and SE, and two sales
+    // managers who play golf.
+    let (g1, _) = DataGraphBuilder::new()
+        .node("A", Attributes::new().with("title", "A"))
+        .node("HR", Attributes::new().with("title", "HR"))
+        .node("HRSE", Attributes::new().with("title", "HR").with("also", "SE").with("se", true).with("hr", true))
+        .node("SE", Attributes::new().with("title", "SE").with("se", true))
+        .node("DMl", Attributes::new().with("title", "DM").with("hobby", "golf"))
+        .node("DMr", Attributes::new().with("title", "DM").with("hobby", "golf"))
+        .edge("A", "HR")
+        .edge("HR", "HRSE")
+        .edge("A", "HRSE")
+        .edge("HRSE", "SE")
+        .edge("SE", "DMr")
+        .edge("HRSE", "DMl")
+        .edge("DMl", "A")
+        .edge("DMr", "DMl")
+        .build()
+        .unwrap();
+
+    // P1: A; SE within 2 hops; HR within 2 hops; DM (golf) within 1 hop of
+    // SE, 2 hops of HR, and connected back to A by an unbounded chain.
+    let (p1, p1_ids) = PatternGraphBuilder::new()
+        .node("A", Predicate::label_eq("title", "A"))
+        .node("SE", Predicate::label_eq("se", true))
+        .node("HR", Predicate::label_eq("title", "HR"))
+        .node("DM", Predicate::label_eq("title", "DM").and("hobby", CmpOp::Eq, "golf"))
+        .edge("A", "SE", 2u32)
+        .edge("A", "HR", 2u32)
+        .edge("SE", "DM", 1u32)
+        .edge("HR", "DM", 2u32)
+        .unbounded_edge("DM", "A")
+        .build()
+        .unwrap();
+
+    let out1 = bounded_simulation(&p1, &g1);
+    println!("P1 ⊴ G1: {}", out1.relation.is_match(&p1));
+    for (name, id) in &p1_ids {
+        let matches: Vec<String> = out1
+            .relation
+            .matches_of(*id)
+            .iter()
+            .map(|v| v.to_string())
+            .collect();
+        println!("  {name:<3} -> {}", matches.join(", "));
+    }
+    println!(
+        "  note: SE and HR can both map to the HR+SE person, and DM maps to two\n\
+         people — relations, not bijections.\n"
+    );
+
+    // ---- P2 / G2 : cross-disciplinary collaborators ---------------------
+    let (g2, g2_ids) = DataGraphBuilder::new()
+        .node("DB", Attributes::labeled("DB").with("dept", "CS"))
+        .node("AI", Attributes::labeled("AI").with("dept", "CS"))
+        .node("Gen", Attributes::labeled("Gen").with("dept", "Bio"))
+        .node("Eco", Attributes::labeled("Eco").with("dept", "Bio"))
+        .node("Med", Attributes::labeled("Med").with("dept", "Med"))
+        .node("Soc", Attributes::labeled("Soc").with("dept", "Soc"))
+        .node("Chem", Attributes::labeled("Chem").with("dept", "Chem"))
+        .edge("DB", "Gen")
+        .edge("Gen", "Eco")
+        .edge("Eco", "Med")
+        .edge("Med", "Soc")
+        .edge("Soc", "DB")
+        .edge("Gen", "Soc")
+        .edge("Med", "DB")
+        .edge("AI", "Chem")
+        .edge("Chem", "AI")
+        .build()
+        .unwrap();
+
+    let build_p2 = || {
+        PatternGraphBuilder::new()
+            .node("CS", Predicate::label_eq("dept", "CS"))
+            .node("Bio", Predicate::label_eq("dept", "Bio"))
+            .node("Med", Predicate::label_eq("dept", "Med"))
+            .node("Soc", Predicate::label_eq("dept", "Soc"))
+            .edge("CS", "Bio", 2u32)
+            .edge("CS", "Soc", 3u32)
+            .edge("Bio", "Soc", 2u32)
+            .edge("Bio", "Med", 3u32)
+            .unbounded_edge("Med", "CS")
+            .build()
+            .unwrap()
+    };
+    let (p2, p2_ids) = build_p2();
+    let out2 = bounded_simulation(&p2, &g2);
+    println!("P2 ⊴ G2: {}", out2.relation.is_match(&p2));
+    for (name, id) in &p2_ids {
+        let matches: Vec<String> = out2
+            .relation
+            .matches_of(*id)
+            .iter()
+            .map(|&v| g2.attributes(v).label().unwrap_or("?").to_string())
+            .collect();
+        println!("  {name:<3} -> [{}]", matches.join(", "));
+    }
+
+    // Example 2.2 (3): drop the edge (DB, Gen) — CS can no longer reach Soc
+    // within 3 hops, and the match disappears.
+    let mut g3 = g2.clone();
+    g3.remove_edge(g2_ids["DB"], g2_ids["Gen"]).unwrap();
+    let (p2_again, _) = build_p2();
+    let out3 = bounded_simulation(&p2_again, &g3);
+    println!(
+        "\nafter removing (DB, Gen):  P2 ⊴ G3: {}   (the community dissolves, as in Example 2.2(3))",
+        out3.relation.is_match(&p2_again)
+    );
+
+    let _ = EdgeBound::Unbounded; // keep the import obviously used
+}

@@ -1,0 +1,138 @@
+//! Relationships between bounded simulation, plain graph simulation and the
+//! subgraph-isomorphism baselines, as stated in Section 2.2 of the paper.
+
+use gpm::{
+    bounded_simulation, graph_simulation, subgraph_isomorphism_ullmann, subgraph_isomorphism_vf2,
+    Attributes, DataGraph, EdgeBound, IsoConfig, NodeId, PatternGraph, Predicate,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_labelled_instance(seed: u64, unit_bounds: bool) -> (DataGraph, PatternGraph) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let labels = ["A", "B", "C", "D"];
+    let n = rng.gen_range(5..16usize);
+    let mut g = DataGraph::new();
+    for _ in 0..n {
+        g.add_node(Attributes::labeled(labels[rng.gen_range(0..labels.len())]));
+    }
+    for _ in 0..rng.gen_range(4..n * 3) {
+        let a = NodeId::new(rng.gen_range(0..n as u32));
+        let b = NodeId::new(rng.gen_range(0..n as u32));
+        let _ = g.try_add_edge(a, b);
+    }
+    let mut p = PatternGraph::new();
+    let pn = rng.gen_range(2..5usize);
+    for _ in 0..pn {
+        p.add_node(Predicate::label(labels[rng.gen_range(0..labels.len())]));
+    }
+    for _ in 0..rng.gen_range(1..pn * 2) {
+        let a = gpm::PatternNodeId::new(rng.gen_range(0..pn as u32));
+        let b = gpm::PatternNodeId::new(rng.gen_range(0..pn as u32));
+        if a == b {
+            continue;
+        }
+        let bound = if unit_bounds {
+            EdgeBound::ONE
+        } else {
+            EdgeBound::Hops(rng.gen_range(1..4))
+        };
+        let _ = p.add_edge(a, b, bound);
+    }
+    (g, p)
+}
+
+/// Remark (2) of Section 2.2: graph simulation is the special case of bounded
+/// simulation with unit edge bounds.
+#[test]
+fn graph_simulation_is_the_unit_bound_special_case() {
+    for seed in 0..40u64 {
+        let (g, p) = random_labelled_instance(seed, true);
+        let sim = graph_simulation(&p, &g);
+        let bounded = bounded_simulation(&p, &g);
+        assert_eq!(sim.relation, bounded.relation, "seed {seed}");
+    }
+}
+
+/// If an isomorphic embedding exists (edge-to-edge, injective), then bounded
+/// simulation with the same pattern also matches — and every embedded node is
+/// in the maximum simulation relation.
+#[test]
+fn isomorphism_embeddings_are_contained_in_the_maximum_match() {
+    let mut patterns_with_embeddings = 0;
+    for seed in 0..60u64 {
+        let (g, p) = random_labelled_instance(seed, true);
+        let iso = subgraph_isomorphism_vf2(&p, &g, &IsoConfig::default());
+        if !iso.is_match() {
+            continue;
+        }
+        patterns_with_embeddings += 1;
+        let bounded = bounded_simulation(&p, &g);
+        assert!(
+            bounded.relation.is_match(&p),
+            "seed {seed}: isomorphism matched but bounded simulation did not"
+        );
+        for emb in &iso.embeddings {
+            for u in p.node_ids() {
+                assert!(
+                    bounded.relation.contains(u, emb.image_of(u)),
+                    "seed {seed}: embedded pair missing from the maximum match"
+                );
+            }
+        }
+    }
+    assert!(patterns_with_embeddings > 5, "too few positive instances to be meaningful");
+}
+
+/// Ullmann and VF2 enumerate identical embedding sets (they solve the same
+/// problem), including on instances with bounded-simulation-only matches.
+#[test]
+fn ullmann_and_vf2_agree() {
+    for seed in 100..140u64 {
+        let (g, p) = random_labelled_instance(seed, true);
+        let cfg = IsoConfig::default();
+        let a = subgraph_isomorphism_ullmann(&p, &g, &cfg);
+        let b = subgraph_isomorphism_vf2(&p, &g, &cfg);
+        let mut ea: Vec<Vec<NodeId>> = a.embeddings.iter().map(|e| e.nodes.clone()).collect();
+        let mut eb: Vec<Vec<NodeId>> = b.embeddings.iter().map(|e| e.nodes.clone()).collect();
+        ea.sort();
+        eb.sort();
+        assert_eq!(ea, eb, "seed {seed}");
+    }
+}
+
+/// Bounded simulation finds communities that subgraph isomorphism cannot see:
+/// the drug-ring shape (Example 1.1) matches via simulation but has no
+/// isomorphic embedding.
+#[test]
+fn bounded_simulation_strictly_more_permissive_on_the_motivating_example() {
+    // One node plays both AM and S; supervision spans 2 hops.
+    let mut g = DataGraph::new();
+    let b = g.add_node(Attributes::labeled("B"));
+    let am = g.add_node(Attributes::labeled("AM").with("secretary", true));
+    let w1 = g.add_node(Attributes::labeled("FW"));
+    let w2 = g.add_node(Attributes::labeled("FW"));
+    g.add_edge(b, am).unwrap();
+    g.add_edge(am, w1).unwrap();
+    g.add_edge(w1, w2).unwrap();
+    g.add_edge(w2, am).unwrap();
+
+    let mut p = PatternGraph::new();
+    let pb = p.add_node(Predicate::label("B"));
+    let pam = p.add_node(Predicate::label("AM"));
+    let ps = p.add_node(Predicate::label("AM").and("secretary", gpm::CmpOp::Eq, true));
+    let pfw = p.add_node(Predicate::label("FW"));
+    p.add_edge(pb, pam, EdgeBound::ONE).unwrap();
+    p.add_edge(pb, ps, EdgeBound::ONE).unwrap();
+    p.add_edge(pam, pfw, EdgeBound::Hops(3)).unwrap();
+    p.add_edge(ps, pfw, EdgeBound::Hops(2)).unwrap();
+    p.add_edge(pfw, pam, EdgeBound::Hops(3)).unwrap();
+
+    let bounded = bounded_simulation(&p, &g);
+    assert!(bounded.relation.is_match(&p));
+    // AM and S both map to the same node — impossible for a bijection.
+    assert_eq!(bounded.relation.matches_of(pam), bounded.relation.matches_of(ps));
+
+    let iso = subgraph_isomorphism_vf2(&p, &g, &IsoConfig::default());
+    assert!(!iso.is_match(), "subgraph isomorphism should not find this community");
+}

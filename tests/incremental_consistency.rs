@@ -1,0 +1,88 @@
+//! Cross-crate consistency of incremental matching: after any stream of
+//! updates, the incrementally maintained match equals a from-scratch run of
+//! `Match` on the updated graph (and the maintained distance matrix equals a
+//! rebuilt one).
+
+use gpm::{
+    bounded_simulation_with_oracle, generate_pattern, random_updates, Dataset, DistanceMatrix,
+    EdgeUpdate, IncrementalMatcher, PatternGenConfig, UpdateStreamConfig,
+};
+
+fn dag_pattern(graph: &gpm::DataGraph, seed: u64) -> gpm::PatternGraph {
+    for attempt in 0..32 {
+        let cfg = PatternGenConfig::new(4, 4, 3).with_seed(seed + attempt * 101);
+        let (p, _) = generate_pattern(graph, &cfg);
+        if p.is_dag() {
+            return p;
+        }
+    }
+    panic!("could not generate a DAG pattern");
+}
+
+#[test]
+fn incremental_matcher_tracks_batch_recompute_on_youtube() {
+    let graph = Dataset::YouTube.generate(0.015, 11);
+    let pattern = dag_pattern(&graph, 1);
+    let mut matcher = IncrementalMatcher::new(pattern.clone(), graph.clone());
+
+    for round in 0..4u64 {
+        let updates = random_updates(
+            matcher.graph(),
+            &UpdateStreamConfig::mixed(40).with_seed(round + 100),
+        );
+        matcher.apply_batch(&updates).unwrap();
+
+        // Maintained matrix equals a rebuilt one.
+        let rebuilt = DistanceMatrix::build(matcher.graph());
+        assert_eq!(matcher.matrix(), &rebuilt, "matrix diverged at round {round}");
+
+        // Maintained match equals recomputation.
+        let recomputed = bounded_simulation_with_oracle(&pattern, matcher.graph(), &rebuilt);
+        assert_eq!(
+            matcher.relation(),
+            recomputed.relation,
+            "match diverged at round {round}"
+        );
+    }
+    assert_eq!(matcher.recompute_fallbacks(), 0);
+}
+
+#[test]
+fn unit_updates_match_batch_updates() {
+    // Applying a stream one update at a time gives the same final state as
+    // applying it as one batch.
+    let graph = Dataset::PBlog.generate(0.03, 5);
+    let pattern = dag_pattern(&graph, 2);
+    let updates = random_updates(&graph, &UpdateStreamConfig::mixed(30).with_seed(9));
+
+    let mut unit = IncrementalMatcher::new(pattern.clone(), graph.clone());
+    for u in &updates {
+        unit.apply(*u).unwrap();
+    }
+
+    let mut batch = IncrementalMatcher::new(pattern, graph);
+    batch.apply_batch(&updates).unwrap();
+
+    assert_eq!(unit.relation(), batch.relation());
+    assert_eq!(unit.matrix(), batch.matrix());
+    assert_eq!(unit.graph().edge_count(), batch.graph().edge_count());
+}
+
+#[test]
+fn deletions_then_reinsertions_restore_the_match() {
+    let graph = Dataset::Matter.generate(0.01, 21);
+    let pattern = dag_pattern(&graph, 3);
+    let mut matcher = IncrementalMatcher::new(pattern, graph.clone());
+    let initial = matcher.relation();
+
+    // Delete a handful of edges, then re-insert them in reverse order.
+    let victims: Vec<(gpm::NodeId, gpm::NodeId)> = graph.edges().take(12).collect();
+    for &(a, b) in &victims {
+        matcher.apply(EdgeUpdate::Delete(a, b)).unwrap();
+    }
+    for &(a, b) in victims.iter().rev() {
+        matcher.apply(EdgeUpdate::Insert(a, b)).unwrap();
+    }
+    assert_eq!(matcher.relation(), initial, "round trip should restore the match");
+    assert_eq!(matcher.matrix(), &DistanceMatrix::build(matcher.graph()));
+}

@@ -1,0 +1,211 @@
+//! The worked examples of the paper (Examples 1.1, 2.2, 2.3), encoded as
+//! integration tests so the reproduction can be checked claim by claim.
+
+use gpm::{
+    bounded_simulation, Attributes, CmpOp, DataGraphBuilder, DistanceMatrix, EdgeBound,
+    PatternGraphBuilder, Predicate, ResultGraph,
+};
+
+/// Example 2.2 (1): P1 ⊴ G1 — start-up team matching, where HR and SE map to
+/// the same person and DM maps to two people.
+#[test]
+fn example_2_2_p1_g1() {
+    let (g1, g_ids) = DataGraphBuilder::new()
+        .node("A", Attributes::new().with("title", "A"))
+        .node("HR", Attributes::new().with("title", "HR").with("hr", true))
+        .node(
+            "HRSE",
+            Attributes::new()
+                .with("title", "HR")
+                .with("hr", true)
+                .with("se", true),
+        )
+        .node("SE", Attributes::new().with("title", "SE").with("se", true))
+        .node("DMl", Attributes::new().with("title", "DM").with("hobby", "golf"))
+        .node("DMr", Attributes::new().with("title", "DM").with("hobby", "golf"))
+        .edge("A", "HR")
+        .edge("HR", "HRSE")
+        .edge("A", "HRSE")
+        .edge("HRSE", "SE")
+        .edge("SE", "DMr")
+        .edge("HRSE", "DMl")
+        .edge("DMl", "A")
+        .edge("DMr", "DMl")
+        .build()
+        .unwrap();
+    let (p1, p_ids) = PatternGraphBuilder::new()
+        .node("A", Predicate::label_eq("title", "A"))
+        .node("SE", Predicate::label_eq("se", true))
+        .node("HR", Predicate::label_eq("hr", true))
+        .node(
+            "DM",
+            Predicate::label_eq("title", "DM").and("hobby", CmpOp::Eq, "golf"),
+        )
+        .edge("A", "SE", 2u32)
+        .edge("A", "HR", 2u32)
+        .edge("SE", "DM", 1u32)
+        .edge("HR", "DM", 2u32)
+        .unbounded_edge("DM", "A")
+        .build()
+        .unwrap();
+
+    let out = bounded_simulation(&p1, &g1);
+    assert!(out.relation.is_match(&p1), "P1 must match G1");
+    // SE maps to both the pure SE and the HR+SE person.
+    let se_matches = out.relation.matches_of(p_ids["SE"]);
+    assert!(se_matches.contains(&g_ids["SE"]));
+    assert!(se_matches.contains(&g_ids["HRSE"]));
+    // HR maps to both HR and the HR+SE person.
+    let hr_matches = out.relation.matches_of(p_ids["HR"]);
+    assert!(hr_matches.contains(&g_ids["HR"]));
+    assert!(hr_matches.contains(&g_ids["HRSE"]));
+    // DM maps to both golf-playing managers.
+    assert_eq!(out.relation.matches_of(p_ids["DM"]).len(), 2);
+    // The relation is a valid match per the definition.
+    let m = DistanceMatrix::build(&g1);
+    assert!(out.relation.is_valid_match(&p1, &g1, &m));
+}
+
+fn academic_graph() -> (gpm::DataGraph, std::collections::HashMap<String, gpm::NodeId>) {
+    let (g, ids) = DataGraphBuilder::new()
+        .node("DB", Attributes::labeled("DB").with("dept", "CS"))
+        .node("AI", Attributes::labeled("AI").with("dept", "CS"))
+        .node("Gen", Attributes::labeled("Gen").with("dept", "Bio"))
+        .node("Eco", Attributes::labeled("Eco").with("dept", "Bio"))
+        .node("Med", Attributes::labeled("Med").with("dept", "Med"))
+        .node("Soc", Attributes::labeled("Soc").with("dept", "Soc"))
+        .node("Chem", Attributes::labeled("Chem").with("dept", "Chem"))
+        .edge("DB", "Gen")
+        .edge("Gen", "Eco")
+        .edge("Eco", "Med")
+        .edge("Med", "Soc")
+        .edge("Soc", "DB")
+        .edge("Gen", "Soc")
+        .edge("Med", "DB")
+        .edge("AI", "Chem")
+        .edge("Chem", "AI")
+        .build()
+        .unwrap();
+    (g, ids.into_iter().collect())
+}
+
+fn p2() -> (gpm::PatternGraph, std::collections::HashMap<String, gpm::PatternNodeId>) {
+    let (p, ids) = PatternGraphBuilder::new()
+        .node("CS", Predicate::label_eq("dept", "CS"))
+        .node("Bio", Predicate::label_eq("dept", "Bio"))
+        .node("Med", Predicate::label_eq("dept", "Med"))
+        .node("Soc", Predicate::label_eq("dept", "Soc"))
+        .edge("CS", "Bio", 2u32)
+        .edge("CS", "Soc", 3u32)
+        .edge("Bio", "Soc", 2u32)
+        .edge("Bio", "Med", 3u32)
+        .unbounded_edge("Med", "CS")
+        .build()
+        .unwrap();
+    (p, ids.into_iter().collect())
+}
+
+/// Example 2.2 (2): P2 ⊴ G2, with CS mapped to DB but *not* AI (AI cannot
+/// reach Soc within 3 hops).
+#[test]
+fn example_2_2_p2_g2() {
+    let (g2, g_ids) = academic_graph();
+    let (pattern, p_ids) = p2();
+    let out = bounded_simulation(&pattern, &g2);
+    assert!(out.relation.is_match(&pattern));
+    let cs = out.relation.matches_of(p_ids["CS"]);
+    assert!(cs.contains(&g_ids["DB"]));
+    assert!(!cs.contains(&g_ids["AI"]), "AI must not match CS");
+    let bio = out.relation.matches_of(p_ids["Bio"]);
+    assert!(bio.contains(&g_ids["Gen"]) && bio.contains(&g_ids["Eco"]));
+}
+
+/// Example 2.2 (3): dropping the edge (DB, Gen) makes P2 no longer match.
+#[test]
+fn example_2_2_p2_not_matching_g3() {
+    let (mut g3, g_ids) = academic_graph();
+    g3.remove_edge(g_ids["DB"], g_ids["Gen"]).unwrap();
+    let (pattern, _) = p2();
+    let out = bounded_simulation(&pattern, &g3);
+    assert!(!out.relation.is_match(&pattern));
+    assert!(out.relation.is_empty());
+}
+
+/// Example 2.3: the result graph Gr of P2 over G2 contains every matched node
+/// and one edge per witnessed pattern edge; one pattern node can map to
+/// multiple data nodes and different pattern nodes can share a data node.
+#[test]
+fn example_2_3_result_graph() {
+    let (g2, g_ids) = academic_graph();
+    let (pattern, p_ids) = p2();
+    let out = bounded_simulation(&pattern, &g2);
+    let rg = ResultGraph::build(&pattern, &g2, &out.relation);
+
+    // Gr contains exactly the matched data nodes.
+    assert_eq!(rg.node_count(), out.relation.data_nodes().len());
+    // Bio maps to two nodes (Gen, Eco) — visible as two roles-of entries.
+    assert!(rg.roles_of(g_ids["Gen"]).contains(&p_ids["Bio"]));
+    assert!(rg.roles_of(g_ids["Eco"]).contains(&p_ids["Bio"]));
+    // The edge (DB, Soc) of Gr corresponds to the pattern edge (CS, Soc),
+    // i.e. a path of length 3 in G2, not a direct edge.
+    let edge = rg
+        .edges()
+        .iter()
+        .find(|e| e.from == g_ids["DB"] && e.to == g_ids["Soc"])
+        .expect("result edge (DB, Soc) must exist");
+    assert!(edge
+        .pattern_edges
+        .iter()
+        .any(|&(a, b, _)| a == p_ids["CS"] && b == p_ids["Soc"]));
+    assert!(!g2.has_edge(g_ids["DB"], g_ids["Soc"]), "witnessed by a path, not an edge");
+}
+
+/// Example 1.1 / Fig. 1: the drug-ring pattern P0 matches G0 with AM and S
+/// sharing a data node and FW matched to every field worker.
+#[test]
+fn example_1_1_drug_ring() {
+    let mut g = gpm::DataGraph::new();
+    let boss = g.add_node(Attributes::labeled("B"));
+    let mut ams = Vec::new();
+    for i in 0..3 {
+        let mut attrs = Attributes::labeled("AM");
+        if i == 2 {
+            attrs.set("secretary", true);
+        }
+        let am = g.add_node(attrs);
+        g.add_edge(boss, am).unwrap();
+        ams.push(am);
+    }
+    let mut first_worker = None;
+    for &am in &ams {
+        let mut prev = am;
+        for _ in 0..3 {
+            let w = g.add_node(Attributes::labeled("FW"));
+            g.add_edge(prev, w).unwrap();
+            if first_worker.is_none() {
+                first_worker = Some(w);
+            }
+            prev = w;
+        }
+        g.add_edge(prev, am).unwrap();
+    }
+    g.add_edge(ams[2], first_worker.unwrap()).unwrap();
+
+    let mut p = gpm::PatternGraph::new();
+    let pb = p.add_node(Predicate::label("B"));
+    let pam = p.add_node(Predicate::label("AM"));
+    let ps = p.add_node(Predicate::label("AM").and("secretary", CmpOp::Eq, true));
+    let pfw = p.add_node(Predicate::label("FW"));
+    p.add_edge(pb, pam, EdgeBound::ONE).unwrap();
+    p.add_edge(pb, ps, EdgeBound::ONE).unwrap();
+    p.add_edge(pam, pfw, EdgeBound::Hops(3)).unwrap();
+    p.add_edge(ps, pfw, EdgeBound::ONE).unwrap();
+    p.add_edge(pfw, pam, EdgeBound::Hops(3)).unwrap();
+
+    let out = bounded_simulation(&p, &g);
+    assert!(out.relation.is_match(&p));
+    assert_eq!(out.relation.matches_of(pb), &[boss]);
+    assert_eq!(out.relation.matches_of(pam).len(), 3);
+    assert_eq!(out.relation.matches_of(ps), &[ams[2]]);
+    assert_eq!(out.relation.matches_of(pfw).len(), 9);
+}
