@@ -7,17 +7,16 @@
 //!   pattern, quantifying the cost of bounded connectivity.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use gpm::{
-    bounded_simulation_with_oracle, generate_pattern, graph_simulation, BfsOracle,
-    DistanceMatrix, PatternGenConfig, RandomGraphConfig, TwoHopOracle,
-};
 use gpm::matching::naive::bounded_simulation_naive_with_oracle;
+use gpm::{
+    bounded_simulation_with_oracle, generate_pattern, graph_simulation, BfsOracle, DistanceMatrix,
+    PatternGenConfig, RandomGraphConfig, TwoHopOracle,
+};
 
 fn bench_optimized_vs_naive(c: &mut Criterion) {
     let graph = gpm::random_graph(&RandomGraphConfig::new(1_500, 4_500, 20).with_seed(21));
     let matrix = DistanceMatrix::build(&graph);
-    let (pattern, _) =
-        generate_pattern(&graph, &PatternGenConfig::new(6, 7, 3).with_seed(22));
+    let (pattern, _) = generate_pattern(&graph, &PatternGenConfig::new(6, 7, 3).with_seed(22));
 
     let mut group = c.benchmark_group("ablation/match-vs-naive");
     group.sample_size(15);
@@ -34,8 +33,7 @@ fn bench_oracle_choice(c: &mut Criterion) {
     let graph = gpm::random_graph(&RandomGraphConfig::new(1_500, 4_500, 20).with_seed(23));
     let matrix = DistanceMatrix::build(&graph);
     let two_hop = TwoHopOracle::build(&graph);
-    let (pattern, _) =
-        generate_pattern(&graph, &PatternGenConfig::new(5, 5, 3).with_seed(24));
+    let (pattern, _) = generate_pattern(&graph, &PatternGenConfig::new(5, 5, 3).with_seed(24));
 
     let mut group = c.benchmark_group("ablation/oracle");
     group.sample_size(15);

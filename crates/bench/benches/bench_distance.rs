@@ -4,9 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gpm::distance::update_matrix;
-use gpm::{
-    random_graph, DistanceMatrix, EdgeUpdate, NodeId, RandomGraphConfig, TwoHopIndex,
-};
+use gpm::{random_graph, DistanceMatrix, EdgeUpdate, NodeId, RandomGraphConfig, TwoHopIndex};
 
 fn bench_matrix_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("distance/matrix-build");

@@ -27,11 +27,9 @@ fn bench_graph_size(c: &mut Criterion) {
     let mut group = c.benchmark_group("match/graph-size");
     group.sample_size(15);
     for nodes in [1_000usize, 2_000, 4_000] {
-        let graph =
-            gpm::random_graph(&RandomGraphConfig::new(nodes, nodes * 3, 50).with_seed(2));
+        let graph = gpm::random_graph(&RandomGraphConfig::new(nodes, nodes * 3, 50).with_seed(2));
         let matrix = DistanceMatrix::build(&graph);
-        let (pattern, _) =
-            generate_pattern(&graph, &PatternGenConfig::new(5, 5, 3).with_seed(11));
+        let (pattern, _) = generate_pattern(&graph, &PatternGenConfig::new(5, 5, 3).with_seed(11));
         group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
             b.iter(|| bounded_simulation_with_oracle(&pattern, &graph, &matrix));
         });

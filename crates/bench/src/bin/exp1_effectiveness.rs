@@ -51,9 +51,8 @@ fn main() {
 
         let (outcome, match_time) =
             time(|| bounded_simulation_with_oracle(&pattern, &subject.graph, &subject.matrix));
-        let (iso, iso_time) = time(|| {
-            subgraph_isomorphism_ullmann(&pattern, &subject.graph, &IsoConfig::default())
-        });
+        let (iso, iso_time) =
+            time(|| subgraph_isomorphism_ullmann(&pattern, &subject.graph, &IsoConfig::default()));
 
         let match_per_node = outcome.relation.average_matches_per_pattern_node();
         let subiso_per_node = iso.average_images_per_pattern_node(&pattern);

@@ -31,16 +31,22 @@ fn main() {
     );
 
     for size in 3..=8usize {
-        let patterns = patterns_for(&subject.graph, size, size, 3, args.patterns, args.seed + size as u64);
+        let patterns = patterns_for(
+            &subject.graph,
+            size,
+            size,
+            3,
+            args.patterns,
+            args.seed + size as u64,
+        );
         let mut match_time = Duration::ZERO;
         let mut vf2_time = Duration::ZERO;
         for pattern in &patterns {
             let (_, t) =
                 time(|| bounded_simulation_with_oracle(pattern, &subject.graph, &subject.matrix));
             match_time += t;
-            let (_, t) = time(|| {
-                subgraph_isomorphism_vf2(pattern, &subject.graph, &IsoConfig::default())
-            });
+            let (_, t) =
+                time(|| subgraph_isomorphism_vf2(pattern, &subject.graph, &IsoConfig::default()));
             vf2_time += t;
         }
         let n = patterns.len() as u32;

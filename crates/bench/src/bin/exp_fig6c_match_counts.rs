@@ -35,8 +35,7 @@ fn main() {
         let mut vf2_embeddings = 0usize;
         let mut truncated = 0usize;
         for pattern in &patterns {
-            let outcome =
-                bounded_simulation_with_oracle(pattern, &subject.graph, &subject.matrix);
+            let outcome = bounded_simulation_with_oracle(pattern, &subject.graph, &subject.matrix);
             match_pairs += outcome.relation.pair_count();
             let iso = subgraph_isomorphism_vf2(pattern, &subject.graph, &IsoConfig::default());
             vf2_embeddings += iso.count();

@@ -5,14 +5,19 @@
 //! positive spanning structure (|Vp| - 1 edges), 1..8 extra edges are added;
 //! the y-axis reports how much of the pattern still finds matches.
 
-use gpm::{bounded_simulation_with_oracle, generate_pattern, random_graph, PatternGenConfig, RandomGraphConfig};
+use gpm::{
+    bounded_simulation_with_oracle, generate_pattern, random_graph, PatternGenConfig,
+    RandomGraphConfig,
+};
 use gpm_bench::{HarnessArgs, Subject, Table};
 
 fn main() {
     let args = HarnessArgs::from_env();
     let nodes = args.scaled(20_000);
     let edges = args.scaled(40_000);
-    let graph = random_graph(&RandomGraphConfig::new(nodes, edges, 2_000.min(nodes / 10).max(4)).with_seed(args.seed));
+    let graph = random_graph(
+        &RandomGraphConfig::new(nodes, edges, 2_000.min(nodes / 10).max(4)).with_seed(args.seed),
+    );
     let subject = Subject::new(graph);
     println!(
         "synthetic graph: |V| = {}, |E| = {}\n",

@@ -28,7 +28,14 @@ fn main() {
         );
 
         for &(vp, ep, k) in &[(4usize, 4usize, 4u32), (8, 8, 4)] {
-            let patterns = patterns_for(&subject.graph, vp, ep, k, args.patterns, args.seed + vp as u64);
+            let patterns = patterns_for(
+                &subject.graph,
+                vp,
+                ep,
+                k,
+                args.patterns,
+                args.seed + vp as u64,
+            );
             let mut t_matrix = Duration::ZERO;
             let mut t_two_hop = Duration::ZERO;
             let mut t_bfs = Duration::ZERO;

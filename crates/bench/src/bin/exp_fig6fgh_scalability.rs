@@ -2,7 +2,9 @@
 //! graphs with |V| = 20K and |E| ∈ {20K, 40K, 60K}, for patterns
 //! P(|Vp|, |Ep|, 3) with |Vp| = |Ep| = 4..10.
 
-use gpm::{bounded_simulation_with_oracle, random_graph, BfsOracle, RandomGraphConfig, TwoHopOracle};
+use gpm::{
+    bounded_simulation_with_oracle, random_graph, BfsOracle, RandomGraphConfig, TwoHopOracle,
+};
 use gpm_bench::{fmt_ms, patterns_for, time, HarnessArgs, Subject, Table};
 use std::time::Duration;
 
@@ -34,8 +36,14 @@ fn main() {
             &["pattern", "Match", "2-hop", "BFS"],
         );
         for size in (4..=10usize).step_by(2) {
-            let patterns =
-                patterns_for(&subject.graph, size, size, 3, args.patterns, args.seed + size as u64);
+            let patterns = patterns_for(
+                &subject.graph,
+                size,
+                size,
+                3,
+                args.patterns,
+                args.seed + size as u64,
+            );
             let mut t_matrix = Duration::ZERO;
             let mut t_two_hop = Duration::ZERO;
             let mut t_bfs = Duration::ZERO;
@@ -48,8 +56,7 @@ fn main() {
                     time(|| bounded_simulation_with_oracle(pattern, &subject.graph, &two_hop));
                 t_two_hop += t;
                 let bfs = BfsOracle::new();
-                let (_, t) =
-                    time(|| bounded_simulation_with_oracle(pattern, &subject.graph, &bfs));
+                let (_, t) = time(|| bounded_simulation_with_oracle(pattern, &subject.graph, &bfs));
                 t_bfs += t;
             }
             let n = patterns.len() as u32;

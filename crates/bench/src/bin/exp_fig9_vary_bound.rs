@@ -4,7 +4,10 @@
 //! and k = 4..13 over a synthetic graph; the cell reports the average number
 //! of matches (|S|), which grows with k up to a saturation point.
 
-use gpm::{bounded_simulation_with_oracle, generate_pattern, random_graph, PatternGenConfig, RandomGraphConfig};
+use gpm::{
+    bounded_simulation_with_oracle, generate_pattern, random_graph, PatternGenConfig,
+    RandomGraphConfig,
+};
 use gpm_bench::{HarnessArgs, Subject, Table};
 
 fn main() {
@@ -26,10 +29,7 @@ fn main() {
         .chain(sizes.iter().map(|n| format!("P({n},{},k)", n - 1)))
         .collect();
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
-    let mut table = Table::new(
-        "Fig. 9: average |S| for various bounds k",
-        &header_refs,
-    );
+    let mut table = Table::new("Fig. 9: average |S| for various bounds k", &header_refs);
 
     for k in 4..=13u32 {
         let mut cells = vec![k.to_string()];

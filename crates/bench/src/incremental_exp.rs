@@ -39,7 +39,13 @@ impl UpdateMix {
 
 /// Generates a DAG pattern for the incremental experiments (IncMatch requires
 /// acyclic patterns); retries seeds until the generator produces one.
-pub fn dag_pattern(graph: &gpm::DataGraph, nodes: usize, edges: usize, bound: u32, seed: u64) -> PatternGraph {
+pub fn dag_pattern(
+    graph: &gpm::DataGraph,
+    nodes: usize,
+    edges: usize,
+    bound: u32,
+    seed: u64,
+) -> PatternGraph {
     for attempt in 0..64u64 {
         let cfg = PatternGenConfig::new(nodes, edges, bound).with_seed(seed + attempt * 7919);
         let (pattern, _) = generate_pattern(graph, &cfg);
@@ -54,7 +60,12 @@ pub fn dag_pattern(graph: &gpm::DataGraph, nodes: usize, edges: usize, bound: u3
 }
 
 /// Runs one of the incremental experiments and prints its table.
-pub fn run_update_experiment(title: &str, mix: UpdateMix, paper_deltas: &[usize], args: &HarnessArgs) {
+pub fn run_update_experiment(
+    title: &str,
+    mix: UpdateMix,
+    paper_deltas: &[usize],
+    args: &HarnessArgs,
+) {
     let graph = Dataset::YouTube.generate(args.scale, args.seed);
     println!(
         "simulated YouTube: |V| = {}, |E| = {} (scale {})",

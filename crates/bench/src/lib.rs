@@ -66,8 +66,7 @@ impl Subject {
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
-        let (matrix, matrix_build_time) =
-            time(|| DistanceMatrix::build_parallel(&graph, threads));
+        let (matrix, matrix_build_time) = time(|| DistanceMatrix::build_parallel(&graph, threads));
         Subject {
             graph,
             matrix,

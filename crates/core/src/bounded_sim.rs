@@ -206,7 +206,8 @@ pub fn bounded_simulation_with_oracle<O: DistanceOracle + ?Sized>(
         .map(|row| {
             row.iter()
                 .enumerate()
-                .filter(|&(_x, &alive)| alive).map(|(x, &_alive)| NodeId::new(x as u32))
+                .filter(|&(_x, &alive)| alive)
+                .map(|(x, &_alive)| NodeId::new(x as u32))
                 .collect()
         })
         .collect();
@@ -303,12 +304,18 @@ mod tests {
             .node("A2", Attributes::labeled("A"))
             .build()
             .unwrap();
-        let (p, _) = PatternGraphBuilder::new().labeled_node("A").build().unwrap();
+        let (p, _) = PatternGraphBuilder::new()
+            .labeled_node("A")
+            .build()
+            .unwrap();
         let out = bounded_simulation(&p, &g);
         assert!(out.is_match(&p));
         assert_eq!(out.relation.matches_of(pn(0)).len(), 2);
 
-        let (p2, _) = PatternGraphBuilder::new().labeled_node("Z").build().unwrap();
+        let (p2, _) = PatternGraphBuilder::new()
+            .labeled_node("Z")
+            .build()
+            .unwrap();
         let out2 = bounded_simulation(&p2, &g);
         assert!(!out2.is_match(&p2));
         assert!(out2.stats.failed_early);

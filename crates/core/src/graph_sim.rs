@@ -133,7 +133,8 @@ pub fn graph_simulation(pattern: &PatternGraph, graph: &DataGraph) -> MatchOutco
         .map(|row| {
             row.iter()
                 .enumerate()
-                .filter(|&(_x, &alive)| alive).map(|(x, &_alive)| NodeId::new(x as u32))
+                .filter(|&(_x, &alive)| alive)
+                .map(|(x, &_alive)| NodeId::new(x as u32))
                 .collect()
         })
         .collect();
@@ -231,9 +232,7 @@ mod tests {
         assert!(graph_simulation(&p, &g2).is_match(&p));
     }
 
-    fn random_labelled_instance(
-        seed: u64,
-    ) -> (gpm_graph::DataGraph, gpm_graph::PatternGraph) {
+    fn random_labelled_instance(seed: u64) -> (gpm_graph::DataGraph, gpm_graph::PatternGraph) {
         let mut rng = StdRng::seed_from_u64(seed);
         let labels = ["A", "B", "C"];
         let n = rng.gen_range(3..12usize);

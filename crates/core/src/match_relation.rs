@@ -150,7 +150,11 @@ impl MatchRelation {
         let mut violations = Vec::new();
         for (u, v) in self.iter_pairs() {
             if !graph.satisfies(v, pattern.predicate(u)) {
-                violations.push((u, v, format!("{v} does not satisfy {}", pattern.predicate(u))));
+                violations.push((
+                    u,
+                    v,
+                    format!("{v} does not satisfy {}", pattern.predicate(u)),
+                ));
                 continue;
             }
             for edge in pattern.out_edges(u) {
@@ -244,7 +248,10 @@ mod tests {
         s.insert(pn(1), dn(7));
         assert_eq!(s.data_nodes(), vec![dn(5), dn(7)]);
         assert!((s.average_matches_per_pattern_node() - 1.5).abs() < 1e-9);
-        assert_eq!(MatchRelation::empty(0).average_matches_per_pattern_node(), 0.0);
+        assert_eq!(
+            MatchRelation::empty(0).average_matches_per_pattern_node(),
+            0.0
+        );
     }
 
     #[test]

@@ -44,11 +44,8 @@ pub fn bounded_simulation_naive_with_oracle<O: DistanceOracle + ?Sized>(
         for e in pattern.edges() {
             let targets = mat[e.to.index()].clone();
             let before = mat[e.from.index()].len();
-            mat[e.from.index()].retain(|&x| {
-                targets
-                    .iter()
-                    .any(|&y| oracle.within(graph, x, y, e.bound))
-            });
+            mat[e.from.index()]
+                .retain(|&x| targets.iter().any(|&y| oracle.within(graph, x, y, e.bound)));
             let removed = before - mat[e.from.index()].len();
             if removed > 0 {
                 changed = true;

@@ -164,11 +164,7 @@ impl ResultGraph {
             self.edge_count()
         ));
         for &v in &self.nodes {
-            let roles: Vec<String> = self
-                .roles_of(v)
-                .iter()
-                .map(|&u| pattern.name(u))
-                .collect();
+            let roles: Vec<String> = self.roles_of(v).iter().map(|&u| pattern.name(u)).collect();
             out.push_str(&format!(
                 "  {v} {} as [{}]\n",
                 graph.attributes(v),
@@ -193,7 +189,10 @@ impl ResultGraph {
 
     /// The set of data-graph edges `(v1, v2)` of the result graph that are
     /// also *direct* edges of the data graph (as opposed to bounded paths).
-    pub fn direct_edges<'a>(&'a self, graph: &'a DataGraph) -> impl Iterator<Item = &'a ResultEdge> {
+    pub fn direct_edges<'a>(
+        &'a self,
+        graph: &'a DataGraph,
+    ) -> impl Iterator<Item = &'a ResultEdge> {
         self.edges.iter().filter(|e| graph.has_edge(e.from, e.to))
     }
 

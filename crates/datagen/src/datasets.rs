@@ -83,19 +83,17 @@ impl Dataset {
         let spec = self.spec();
         let nodes = ((spec.nodes as f64 * scale).round() as usize).max(16);
         let edges = ((spec.edges as f64 * scale).round() as usize).max(32);
-        let mut g = powerlaw_graph(
-            &PowerLawConfig {
-                nodes,
-                edges,
-                back_edge_fraction: 0.35,
-                // Real co-authorship / hyperlink / recommendation graphs are
-                // highly reciprocal and triangle-rich; this is what keeps the
-                // affected area of single-edge updates small (Exp-3).
-                reciprocal_fraction: 0.35,
-                closure_fraction: 0.35,
-                seed,
-            },
-        );
+        let mut g = powerlaw_graph(&PowerLawConfig {
+            nodes,
+            edges,
+            back_edge_fraction: 0.35,
+            // Real co-authorship / hyperlink / recommendation graphs are
+            // highly reciprocal and triangle-rich; this is what keeps the
+            // affected area of single-edge updates small (Exp-3).
+            reciprocal_fraction: 0.35,
+            closure_fraction: 0.35,
+            seed,
+        });
         let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
         match self {
             Dataset::Matter => assign_matter_attributes(&mut g, &mut rng),
@@ -173,7 +171,11 @@ fn assign_matter_attributes(g: &mut DataGraph, rng: &mut StdRng) {
 
 fn assign_pblog_attributes(g: &mut DataGraph, rng: &mut StdRng) {
     for v in g.nodes().collect::<Vec<_>>() {
-        let leaning = if rng.gen_bool(0.5) { "liberal" } else { "conservative" };
+        let leaning = if rng.gen_bool(0.5) {
+            "liberal"
+        } else {
+            "conservative"
+        };
         let attrs = Attributes::new()
             .with("leaning", leaning)
             .with("posts", rng.gen_range(1..2_000i64))
@@ -222,7 +224,9 @@ mod tests {
         let g = Dataset::YouTube.generate(0.02, 3);
         for v in g.nodes() {
             let attrs = g.attributes(v);
-            for key in ["category", "uploader", "length", "rate", "age", "views", "comments"] {
+            for key in [
+                "category", "uploader", "length", "rate", "age", "views", "comments",
+            ] {
                 assert!(attrs.contains(key), "missing attribute {key}");
             }
             let rate = attrs.get("rate").unwrap().as_f64().unwrap();

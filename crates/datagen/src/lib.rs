@@ -2,7 +2,7 @@
 //!
 //! Workload generators for the evaluation of Section 5 of the paper:
 //!
-//! * [`random_graph`] — the synthetic data graphs (the paper used the C++
+//! * [`random_graph`](mod@random_graph) — the synthetic data graphs (the paper used the C++
 //!   Boost generator with three parameters: node count, edge count and a set
 //!   of node attributes);
 //! * [`powerlaw`] — preferential-attachment digraphs used as the backbone of

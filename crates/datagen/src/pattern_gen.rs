@@ -73,7 +73,10 @@ impl PatternGenConfig {
 /// Returns the pattern and, for each pattern node, the data node it was
 /// anchored to (useful for diagnostics; the anchor satisfies the node's
 /// predicate by construction).
-pub fn generate_pattern(graph: &DataGraph, config: &PatternGenConfig) -> (PatternGraph, Vec<NodeId>) {
+pub fn generate_pattern(
+    graph: &DataGraph,
+    config: &PatternGenConfig,
+) -> (PatternGraph, Vec<NodeId>) {
     assert!(config.nodes >= 1, "a pattern needs at least one node");
     assert!(
         graph.node_count() > 0,
@@ -121,7 +124,10 @@ pub fn generate_pattern(graph: &DataGraph, config: &PatternGenConfig) -> (Patter
 
 /// Draws a bound `k'` with `max(1, k - c) <= k' <= k`.
 fn draw_bound(config: &PatternGenConfig, rng: &mut StdRng) -> u32 {
-    let low = config.max_bound.saturating_sub(config.bound_variation).max(1);
+    let low = config
+        .max_bound
+        .saturating_sub(config.bound_variation)
+        .max(1);
     rng.gen_range(low..=config.max_bound)
 }
 

@@ -134,10 +134,7 @@ impl AffectedPairs {
                 .and_modify(|existing| existing.new = p.new)
                 .or_insert(p);
         }
-        self.pairs = by_pair
-            .into_values()
-            .filter(|p| p.old != p.new)
-            .collect();
+        self.pairs = by_pair.into_values().filter(|p| p.old != p.new).collect();
     }
 }
 
@@ -489,7 +486,9 @@ mod tests {
 
         assert_eq!(m.nonempty_distance(n(0), n(3)), Some(1));
         assert_eq!(m, DistanceMatrix::build(&g));
-        assert!(aff.iter().any(|p| p.source == n(0) && p.sink == n(3) && !p.increased()));
+        assert!(aff
+            .iter()
+            .any(|p| p.source == n(0) && p.sink == n(3) && !p.increased()));
     }
 
     #[test]

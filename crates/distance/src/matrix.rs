@@ -6,7 +6,7 @@
 //! bound `k` and to `|E|` (Figures 6(f)–(h)).
 //!
 //! Distances are stored row-major as `u16` hop counts with
-//! [`UNREACHABLE`](crate::UNREACHABLE) marking "no non-empty path". Rows can
+//! [`crate::UNREACHABLE`] marking "no non-empty path". Rows can
 //! be rebuilt or patched in place, which is what the incremental maintenance
 //! procedures (`UpdateM` / `UpdateBM`) do.
 

@@ -230,10 +230,7 @@ mod tests {
             .unwrap();
         assert_eq!(p.node_count(), 3);
         assert_eq!(p.edge_count(), 3);
-        assert_eq!(
-            p.bound(names["AM"], names["FW"]),
-            Some(EdgeBound::Hops(3))
-        );
+        assert_eq!(p.bound(names["AM"], names["FW"]), Some(EdgeBound::Hops(3)));
         assert_eq!(p.bound(names["B"], names["FW"]), Some(EdgeBound::Unbounded));
         assert_eq!(p.name(names["AM"]), "AM");
     }

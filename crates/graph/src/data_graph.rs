@@ -191,7 +191,8 @@ impl DataGraph {
         &'a self,
         pred: &'a Predicate,
     ) -> impl Iterator<Item = NodeId> + 'a {
-        self.nodes().filter(move |&v| pred.satisfied_by(self.attributes(v)))
+        self.nodes()
+            .filter(move |&v| pred.satisfied_by(self.attributes(v)))
     }
 
     /// Whether the attributes of `v` satisfy `pred`.
@@ -338,10 +339,7 @@ mod tests {
     fn unknown_node_rejected() {
         let mut g = DataGraph::new();
         g.add_nodes(1);
-        assert_eq!(
-            g.add_edge(n(0), n(5)),
-            Err(GraphError::UnknownNode(n(5)))
-        );
+        assert_eq!(g.add_edge(n(0), n(5)), Err(GraphError::UnknownNode(n(5))));
         assert_eq!(
             g.remove_edge(n(7), n(0)),
             Err(GraphError::UnknownNode(n(7)))

@@ -42,7 +42,10 @@ impl fmt::Display for GraphError {
             }
             GraphError::SelfLoop(u) => write!(f, "pattern node {u} cannot have a self-loop"),
             GraphError::PatternNotAcyclic => {
-                write!(f, "operation requires a DAG pattern but the pattern has a cycle")
+                write!(
+                    f,
+                    "operation requires a DAG pattern but the pattern has a cycle"
+                )
             }
             GraphError::Parse(msg) => write!(f, "parse error: {msg}"),
         }

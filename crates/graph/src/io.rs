@@ -152,11 +152,7 @@ fn tokenize_line(line: &str) -> Vec<String> {
     tokens
 }
 
-fn parse_field<T: std::str::FromStr>(
-    field: Option<&str>,
-    lineno: usize,
-    what: &str,
-) -> Result<T> {
+fn parse_field<T: std::str::FromStr>(field: Option<&str>, lineno: usize, what: &str) -> Result<T> {
     field
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| GraphError::Parse(format!("line {}: missing/invalid {what}", lineno + 1)))

@@ -91,7 +91,11 @@ impl PatternGraph {
     }
 
     /// Adds a named pattern node (the name only affects displays).
-    pub fn add_named_node(&mut self, name: impl Into<String>, predicate: Predicate) -> PatternNodeId {
+    pub fn add_named_node(
+        &mut self,
+        name: impl Into<String>,
+        predicate: Predicate,
+    ) -> PatternNodeId {
         let id = self.add_node(predicate);
         self.nodes[id.index()].name = Some(name.into());
         id
@@ -208,9 +212,7 @@ impl PatternGraph {
     /// cyclic. Kahn's algorithm; deterministic (smallest id first).
     pub fn topological_order(&self) -> Option<Vec<PatternNodeId>> {
         let n = self.node_count();
-        let mut indeg: Vec<usize> = (0..n)
-            .map(|i| self.in_adj[i].len())
-            .collect();
+        let mut indeg: Vec<usize> = (0..n).map(|i| self.in_adj[i].len()).collect();
         // Binary-heap-free deterministic Kahn: scan for zero in-degree ids in
         // ascending order; patterns are tiny so O(n²) is irrelevant.
         let mut order = Vec::with_capacity(n);
@@ -430,9 +432,7 @@ mod tests {
     #[test]
     fn predicates_with_comparisons() {
         let mut p = PatternGraph::new();
-        let n = p.add_node(
-            Predicate::label_eq("category", "People").and("rate", CmpOp::Gt, 4.5),
-        );
+        let n = p.add_node(Predicate::label_eq("category", "People").and("rate", CmpOp::Gt, 4.5));
         assert_eq!(p.predicate(n).len(), 2);
     }
 

@@ -311,7 +311,14 @@ mod tests {
 
     #[test]
     fn cmp_op_parsing_and_display() {
-        for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Eq, CmpOp::Ne, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             let round: CmpOp = op.symbol().parse().unwrap();
             assert_eq!(round, op);
         }
@@ -324,7 +331,14 @@ mod tests {
     fn incomparable_values_fail_every_operator() {
         let s = AttrValue::from("abc");
         let i = AttrValue::Int(1);
-        for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Eq, CmpOp::Ne, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             assert!(!op.eval(&s, &i), "{op} should fail on str vs int");
         }
     }

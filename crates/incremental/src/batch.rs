@@ -113,11 +113,18 @@ mod tests {
         let mut m = DistanceMatrix::build(&g);
         let mut s = MatchState::initialise(&p, &g, &m);
 
-        let updates = random_updates(&g, &UpdateStreamConfig::mixed(batch).with_seed(seed * 31 + 1));
+        let updates = random_updates(
+            &g,
+            &UpdateStreamConfig::mixed(batch).with_seed(seed * 31 + 1),
+        );
         let out = inc_match(&p, &mut g, &mut m, &mut s, &updates).unwrap();
 
         // The matrix and the match equal a from-scratch recomputation.
-        assert_eq!(m, DistanceMatrix::build(&g), "matrix diverged (seed {seed})");
+        assert_eq!(
+            m,
+            DistanceMatrix::build(&g),
+            "matrix diverged (seed {seed})"
+        );
         let recomputed = bounded_simulation_with_oracle(&p, &g, &m);
         assert_eq!(
             s.relation(),

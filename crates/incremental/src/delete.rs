@@ -47,7 +47,14 @@ pub fn match_minus(
         .collect();
     let mut aff2 = Aff2::default();
     let mut verifications = 0usize;
-    process_removals(pattern, matrix, state, &sources, &mut aff2, &mut verifications);
+    process_removals(
+        pattern,
+        matrix,
+        state,
+        &sources,
+        &mut aff2,
+        &mut verifications,
+    );
     Ok(IncrementalOutcome::new(aff1, aff2, verifications))
 }
 
@@ -190,7 +197,10 @@ mod tests {
         let out = match_minus(&p, &mut g, &mut m, &mut s, NodeId::new(2), NodeId::new(3)).unwrap();
         assert!(!s.all_matched());
         assert!(s.relation().is_empty());
-        assert!(out.aff2.removed.len() >= 2, "cascade should remove C and A matches");
+        assert!(
+            out.aff2.removed.len() >= 2,
+            "cascade should remove C and A matches"
+        );
         assert!(out.stats.aff1 > 0);
         assert_eq!(out.stats.aff2, out.aff2.len());
         // Matrix stays consistent with a rebuild.
@@ -219,9 +229,11 @@ mod tests {
         let mut s = MatchState::initialise(&p, &g, &m);
         assert!(s.relation().is_match(&p));
 
-        let out =
-            match_minus(&p, &mut g, &mut m, &mut s, names["B"], names["C"]).unwrap();
-        assert!(s.relation().is_match(&p), "alternative route keeps the match");
+        let out = match_minus(&p, &mut g, &mut m, &mut s, names["B"], names["C"]).unwrap();
+        assert!(
+            s.relation().is_match(&p),
+            "alternative route keeps the match"
+        );
         assert!(out.aff2.is_empty());
     }
 

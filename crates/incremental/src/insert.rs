@@ -52,7 +52,14 @@ pub fn match_plus(
         .collect();
     let mut aff2 = Aff2::default();
     let mut verifications = 0usize;
-    process_additions(pattern, matrix, state, &sources, &mut aff2, &mut verifications);
+    process_additions(
+        pattern,
+        matrix,
+        state,
+        &sources,
+        &mut aff2,
+        &mut verifications,
+    );
     Ok(IncrementalOutcome::new(aff1, aff2, verifications))
 }
 
@@ -159,8 +166,13 @@ mod tests {
         assert!(s.relation().is_match(&p));
         // Node c was already matched to pattern node C before the insertion
         // (C has no out-edges); the insertion only adds the (A, a) pair.
-        assert!(out.aff2.added.contains(&(gpm_graph::PatternNodeId::new(0), NodeId::new(0))));
-        assert!(s.relation().contains(gpm_graph::PatternNodeId::new(1), NodeId::new(2)));
+        assert!(out
+            .aff2
+            .added
+            .contains(&(gpm_graph::PatternNodeId::new(0), NodeId::new(0))));
+        assert!(s
+            .relation()
+            .contains(gpm_graph::PatternNodeId::new(1), NodeId::new(2)));
         assert!(out.aff2.removed.is_empty());
         assert_eq!(m, DistanceMatrix::build(&g));
         // Incremental state equals a from-scratch run.

@@ -120,7 +120,10 @@ impl IncrementalMatcher {
     ///
     /// DAG patterns use `IncMatch`; cyclic patterns maintain the matrix with
     /// `UpdateBM` and recompute the match.
-    pub fn apply_batch(&mut self, updates: &[EdgeUpdate]) -> Result<IncrementalOutcome, GraphError> {
+    pub fn apply_batch(
+        &mut self,
+        updates: &[EdgeUpdate],
+    ) -> Result<IncrementalOutcome, GraphError> {
         if self.pattern.is_dag() {
             return inc_match(
                 &self.pattern,
@@ -184,8 +187,11 @@ mod tests {
         let updates = random_updates(&g, &UpdateStreamConfig::mixed(30).with_seed(6));
         for u in updates {
             matcher.apply(u).unwrap();
-            let recomputed =
-                bounded_simulation_with_oracle(matcher.pattern(), matcher.graph(), matcher.matrix());
+            let recomputed = bounded_simulation_with_oracle(
+                matcher.pattern(),
+                matcher.graph(),
+                matcher.matrix(),
+            );
             assert_eq!(matcher.relation(), recomputed.relation);
         }
         assert_eq!(matcher.recompute_fallbacks(), 0);

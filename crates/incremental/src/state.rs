@@ -136,7 +136,8 @@ impl MatchState {
         self.mat[u.index()]
             .iter()
             .enumerate()
-            .filter(|&(_v, &b)| b).map(|(v, &_b)| NodeId::new(v as u32))
+            .filter(|&(_v, &b)| b)
+            .map(|(v, &_b)| NodeId::new(v as u32))
             .collect()
     }
 
@@ -145,7 +146,8 @@ impl MatchState {
         self.satisfies[u.index()]
             .iter()
             .enumerate()
-            .filter(|&(v, &s)| s && !self.mat[u.index()][v]).map(|(v, &_s)| NodeId::new(v as u32))
+            .filter(|&(v, &s)| s && !self.mat[u.index()][v])
+            .map(|(v, &_s)| NodeId::new(v as u32))
             .collect()
     }
 
@@ -192,7 +194,8 @@ pub(crate) fn greatest_fixpoint_sets<O: DistanceOracle + ?Sized>(
         .map(|row| {
             row.iter()
                 .enumerate()
-                .filter(|&(_v, &s)| s).map(|(v, &_s)| NodeId::new(v as u32))
+                .filter(|&(_v, &s)| s)
+                .map(|(v, &_s)| NodeId::new(v as u32))
                 .collect()
         })
         .collect();
@@ -201,9 +204,8 @@ pub(crate) fn greatest_fixpoint_sets<O: DistanceOracle + ?Sized>(
         for e in pattern.edges() {
             let targets = sets[e.to.index()].clone();
             let before = sets[e.from.index()].len();
-            sets[e.from.index()].retain(|&x| {
-                targets.iter().any(|&y| oracle.within(graph, x, y, e.bound))
-            });
+            sets[e.from.index()]
+                .retain(|&x| targets.iter().any(|&y| oracle.within(graph, x, y, e.bound)));
             if sets[e.from.index()].len() != before {
                 changed = true;
             }

@@ -109,7 +109,10 @@ mod tests {
     #[test]
     fn any_empty_detects_impossible_patterns() {
         let (g, _) = DataGraphBuilder::new().labeled_node("A").build().unwrap();
-        let (p, _) = PatternGraphBuilder::new().labeled_node("Z").build().unwrap();
+        let (p, _) = PatternGraphBuilder::new()
+            .labeled_node("Z")
+            .build()
+            .unwrap();
         let c = CandidateSets::compute(&p, &g);
         assert!(c.any_empty());
     }

@@ -101,11 +101,8 @@ impl IsoOutcome {
         }
         let mut total = 0usize;
         for u in pattern.node_ids() {
-            let distinct: FxHashSet<NodeId> = self
-                .embeddings
-                .iter()
-                .map(|e| e.image_of(u))
-                .collect();
+            let distinct: FxHashSet<NodeId> =
+                self.embeddings.iter().map(|e| e.image_of(u)).collect();
             total += distinct.len();
         }
         total as f64 / pattern.node_count() as f64

@@ -137,7 +137,15 @@ fn search(
         assignment[u.index()] = Some(vid);
         used[v] = true;
         search(
-            pattern, graph, config, order, depth + 1, matrix, assignment, used, outcome,
+            pattern,
+            graph,
+            config,
+            order,
+            depth + 1,
+            matrix,
+            assignment,
+            used,
+            outcome,
         );
         assignment[u.index()] = None;
         used[v] = false;

@@ -134,8 +134,7 @@ impl<'a> Vf2State<'a> {
     /// (connected to the core), smallest candidate list first.
     fn next_pattern_node(&self) -> Option<PatternNodeId> {
         let unmapped = |u: &PatternNodeId| self.core_p[u.index()].is_none();
-        let by_candidates =
-            |u: &PatternNodeId| (self.candidates.of(*u).len(), u.index());
+        let by_candidates = |u: &PatternNodeId| (self.candidates.of(*u).len(), u.index());
 
         let terminal: Option<PatternNodeId> = self
             .pattern
@@ -202,7 +201,9 @@ impl<'a> Vf2State<'a> {
                 g_new += 1;
             }
         }
-        g_term_out >= p_term_out && g_term_in >= p_term_in && (g_new + g_term_out + g_term_in) >= (p_new + p_term_out + p_term_in)
+        g_term_out >= p_term_out
+            && g_term_in >= p_term_in
+            && (g_new + g_term_out + g_term_in) >= (p_new + p_term_out + p_term_in)
     }
 
     /// Adds `(u, v)` to the core and updates the terminal sets; returns the
@@ -413,10 +414,8 @@ mod tests {
             let cfg = IsoConfig::default();
             let a = subgraph_isomorphism_vf2(&p, &g, &cfg);
             let b = subgraph_isomorphism_ullmann(&p, &g, &cfg);
-            let sa: FxHashSet<Vec<NodeId>> =
-                a.embeddings.iter().map(|e| e.nodes.clone()).collect();
-            let sb: FxHashSet<Vec<NodeId>> =
-                b.embeddings.iter().map(|e| e.nodes.clone()).collect();
+            let sa: FxHashSet<Vec<NodeId>> = a.embeddings.iter().map(|e| e.nodes.clone()).collect();
+            let sb: FxHashSet<Vec<NodeId>> = b.embeddings.iter().map(|e| e.nodes.clone()).collect();
             assert_eq!(sa, sb, "seed {seed}");
             for e in a.embeddings.iter().chain(b.embeddings.iter()) {
                 assert!(e.verify(&p, &g), "invalid embedding at seed {seed}");

@@ -34,9 +34,7 @@ fn build_g0(m: usize) -> DataGraph {
         let depth = if i % 2 == 0 { 3 } else { 2 };
         let mut prev = am;
         for level in 0..depth {
-            let w = g.add_node(
-                Attributes::labeled("FW").with("name", format!("W{i}-{level}")),
-            );
+            let w = g.add_node(Attributes::labeled("FW").with("name", format!("W{i}-{level}")));
             g.add_edge(prev, w).unwrap();
             if first_worker.is_none() {
                 first_worker = Some(w);
@@ -83,7 +81,10 @@ fn main() {
 
     // Bounded simulation identifies the whole ring.
     let outcome = bounded_simulation(&p0, &g0);
-    println!("\nbounded simulation: P0 matches G0 = {}", outcome.relation.is_match(&p0));
+    println!(
+        "\nbounded simulation: P0 matches G0 = {}",
+        outcome.relation.is_match(&p0)
+    );
     for node in p0.node_ids() {
         let names: Vec<String> = outcome
             .relation
@@ -114,6 +115,10 @@ fn main() {
     println!(
         "\nsubgraph isomorphism (VF2): {} embeddings found{}",
         iso.count(),
-        if iso.is_match() { "" } else { "  (the community is invisible to isomorphism)" }
+        if iso.is_match() {
+            ""
+        } else {
+            "  (the community is invisible to isomorphism)"
+        }
     );
 }

@@ -23,7 +23,10 @@ fn main() {
     // A DAG pattern (IncMatch requires DAG patterns): popular music videos
     // recommending well-viewed videos that lead to "People" videos.
     let (pattern, _) = PatternGraphBuilder::new()
-        .node("music", Predicate::label_eq("category", "Music").and("rate", gpm::CmpOp::Gt, 3.0))
+        .node(
+            "music",
+            Predicate::label_eq("category", "Music").and("rate", gpm::CmpOp::Gt, 3.0),
+        )
         .node("hub", Predicate::atom("views", gpm::CmpOp::Gt, 1_000))
         .node("people", Predicate::label_eq("category", "People"))
         .edge("music", "hub", 2u32)
@@ -58,7 +61,11 @@ fn main() {
             bounded_simulation_with_oracle(matcher.pattern(), matcher.graph(), matcher.matrix());
         let batch_time = t_batch.elapsed();
 
-        assert_eq!(matcher.relation(), recomputed.relation, "incremental = batch");
+        assert_eq!(
+            matcher.relation(),
+            recomputed.relation,
+            "incremental = batch"
+        );
         println!(
             "wave {wave}: |δ| = {:>3}  |AFF1| = {:>6}  |AFF2| = {:>4}  pairs = {:>5}  \
              IncMatch {:>10?} vs re-Match {:>10?}",

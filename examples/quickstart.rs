@@ -3,18 +3,45 @@
 //!
 //! Run with `cargo run -p gpm --example quickstart`.
 
-use gpm::{bounded_simulation, CmpOp, DataGraphBuilder, PatternGraphBuilder, Predicate, ResultGraph};
+use gpm::{
+    bounded_simulation, CmpOp, DataGraphBuilder, PatternGraphBuilder, Predicate, ResultGraph,
+};
 
 fn main() {
     // A toy collaboration network: people with a role and a seniority score.
     // Edges mean "works with / reports to".
     let (graph, _) = DataGraphBuilder::new()
-        .node("alice", [("role", "architect")].into_iter().collect::<gpm::Attributes>()
-            .with("seniority", 9))
-        .node("bob", gpm::Attributes::new().with("role", "engineer").with("seniority", 4))
-        .node("carol", gpm::Attributes::new().with("role", "engineer").with("seniority", 7))
-        .node("dave", gpm::Attributes::new().with("role", "analyst").with("seniority", 5))
-        .node("erin", gpm::Attributes::new().with("role", "analyst").with("seniority", 2))
+        .node(
+            "alice",
+            [("role", "architect")]
+                .into_iter()
+                .collect::<gpm::Attributes>()
+                .with("seniority", 9),
+        )
+        .node(
+            "bob",
+            gpm::Attributes::new()
+                .with("role", "engineer")
+                .with("seniority", 4),
+        )
+        .node(
+            "carol",
+            gpm::Attributes::new()
+                .with("role", "engineer")
+                .with("seniority", 7),
+        )
+        .node(
+            "dave",
+            gpm::Attributes::new()
+                .with("role", "analyst")
+                .with("seniority", 5),
+        )
+        .node(
+            "erin",
+            gpm::Attributes::new()
+                .with("role", "analyst")
+                .with("seniority", 2),
+        )
         .edge("alice", "bob")
         .edge("bob", "carol")
         .edge("carol", "dave")
@@ -44,7 +71,11 @@ fn main() {
         outcome.relation.is_match(&pattern),
         outcome.relation.pair_count()
     );
-    for (name, id) in [("architect", ids["architect"]), ("engineer", ids["engineer"]), ("analyst", ids["analyst"])] {
+    for (name, id) in [
+        ("architect", ids["architect"]),
+        ("engineer", ids["engineer"]),
+        ("analyst", ids["analyst"]),
+    ] {
         let matched: Vec<String> = outcome
             .relation
             .matches_of(id)

@@ -20,10 +20,23 @@ fn main() {
     let (g1, _) = DataGraphBuilder::new()
         .node("A", Attributes::new().with("title", "A"))
         .node("HR", Attributes::new().with("title", "HR"))
-        .node("HRSE", Attributes::new().with("title", "HR").with("also", "SE").with("se", true).with("hr", true))
+        .node(
+            "HRSE",
+            Attributes::new()
+                .with("title", "HR")
+                .with("also", "SE")
+                .with("se", true)
+                .with("hr", true),
+        )
         .node("SE", Attributes::new().with("title", "SE").with("se", true))
-        .node("DMl", Attributes::new().with("title", "DM").with("hobby", "golf"))
-        .node("DMr", Attributes::new().with("title", "DM").with("hobby", "golf"))
+        .node(
+            "DMl",
+            Attributes::new().with("title", "DM").with("hobby", "golf"),
+        )
+        .node(
+            "DMr",
+            Attributes::new().with("title", "DM").with("hobby", "golf"),
+        )
         .edge("A", "HR")
         .edge("HR", "HRSE")
         .edge("A", "HRSE")
@@ -41,7 +54,10 @@ fn main() {
         .node("A", Predicate::label_eq("title", "A"))
         .node("SE", Predicate::label_eq("se", true))
         .node("HR", Predicate::label_eq("title", "HR"))
-        .node("DM", Predicate::label_eq("title", "DM").and("hobby", CmpOp::Eq, "golf"))
+        .node(
+            "DM",
+            Predicate::label_eq("title", "DM").and("hobby", CmpOp::Eq, "golf"),
+        )
         .edge("A", "SE", 2u32)
         .edge("A", "HR", 2u32)
         .edge("SE", "DM", 1u32)

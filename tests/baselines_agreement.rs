@@ -81,7 +81,10 @@ fn isomorphism_embeddings_are_contained_in_the_maximum_match() {
             }
         }
     }
-    assert!(patterns_with_embeddings > 5, "too few positive instances to be meaningful");
+    assert!(
+        patterns_with_embeddings > 5,
+        "too few positive instances to be meaningful"
+    );
 }
 
 /// Ullmann and VF2 enumerate identical embedding sets (they solve the same
@@ -131,8 +134,14 @@ fn bounded_simulation_strictly_more_permissive_on_the_motivating_example() {
     let bounded = bounded_simulation(&p, &g);
     assert!(bounded.relation.is_match(&p));
     // AM and S both map to the same node — impossible for a bijection.
-    assert_eq!(bounded.relation.matches_of(pam), bounded.relation.matches_of(ps));
+    assert_eq!(
+        bounded.relation.matches_of(pam),
+        bounded.relation.matches_of(ps)
+    );
 
     let iso = subgraph_isomorphism_vf2(&p, &g, &IsoConfig::default());
-    assert!(!iso.is_match(), "subgraph isomorphism should not find this community");
+    assert!(
+        !iso.is_match(),
+        "subgraph isomorphism should not find this community"
+    );
 }

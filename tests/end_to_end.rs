@@ -35,7 +35,10 @@ fn youtube_pipeline_end_to_end() {
         }
     }
     // The generator is biased towards positive patterns, so most must match.
-    assert!(matched_patterns >= 2, "only {matched_patterns}/6 patterns matched");
+    assert!(
+        matched_patterns >= 2,
+        "only {matched_patterns}/6 patterns matched"
+    );
 }
 
 #[test]
@@ -51,8 +54,14 @@ fn all_three_oracles_agree_on_every_dataset() {
             let a = bounded_simulation_with_oracle(&pattern, &graph, &matrix);
             let b = bounded_simulation_with_oracle(&pattern, &graph, &two_hop);
             let c = bounded_simulation_with_oracle(&pattern, &graph, &bfs);
-            assert_eq!(a.relation, b.relation, "{dataset} seed {seed}: matrix vs 2-hop");
-            assert_eq!(a.relation, c.relation, "{dataset} seed {seed}: matrix vs BFS");
+            assert_eq!(
+                a.relation, b.relation,
+                "{dataset} seed {seed}: matrix vs 2-hop"
+            );
+            assert_eq!(
+                a.relation, c.relation,
+                "{dataset} seed {seed}: matrix vs BFS"
+            );
         }
     }
 }

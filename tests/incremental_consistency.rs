@@ -34,7 +34,11 @@ fn incremental_matcher_tracks_batch_recompute_on_youtube() {
 
         // Maintained matrix equals a rebuilt one.
         let rebuilt = DistanceMatrix::build(matcher.graph());
-        assert_eq!(matcher.matrix(), &rebuilt, "matrix diverged at round {round}");
+        assert_eq!(
+            matcher.matrix(),
+            &rebuilt,
+            "matrix diverged at round {round}"
+        );
 
         // Maintained match equals recomputation.
         let recomputed = bounded_simulation_with_oracle(&pattern, matcher.graph(), &rebuilt);
@@ -83,6 +87,10 @@ fn deletions_then_reinsertions_restore_the_match() {
     for &(a, b) in victims.iter().rev() {
         matcher.apply(EdgeUpdate::Insert(a, b)).unwrap();
     }
-    assert_eq!(matcher.relation(), initial, "round trip should restore the match");
+    assert_eq!(
+        matcher.relation(),
+        initial,
+        "round trip should restore the match"
+    );
     assert_eq!(matcher.matrix(), &DistanceMatrix::build(matcher.graph()));
 }

@@ -21,8 +21,14 @@ fn example_2_2_p1_g1() {
                 .with("se", true),
         )
         .node("SE", Attributes::new().with("title", "SE").with("se", true))
-        .node("DMl", Attributes::new().with("title", "DM").with("hobby", "golf"))
-        .node("DMr", Attributes::new().with("title", "DM").with("hobby", "golf"))
+        .node(
+            "DMl",
+            Attributes::new().with("title", "DM").with("hobby", "golf"),
+        )
+        .node(
+            "DMr",
+            Attributes::new().with("title", "DM").with("hobby", "golf"),
+        )
         .edge("A", "HR")
         .edge("HR", "HRSE")
         .edge("A", "HRSE")
@@ -66,7 +72,10 @@ fn example_2_2_p1_g1() {
     assert!(out.relation.is_valid_match(&p1, &g1, &m));
 }
 
-fn academic_graph() -> (gpm::DataGraph, std::collections::HashMap<String, gpm::NodeId>) {
+fn academic_graph() -> (
+    gpm::DataGraph,
+    std::collections::HashMap<String, gpm::NodeId>,
+) {
     let (g, ids) = DataGraphBuilder::new()
         .node("DB", Attributes::labeled("DB").with("dept", "CS"))
         .node("AI", Attributes::labeled("AI").with("dept", "CS"))
@@ -89,7 +98,10 @@ fn academic_graph() -> (gpm::DataGraph, std::collections::HashMap<String, gpm::N
     (g, ids.into_iter().collect())
 }
 
-fn p2() -> (gpm::PatternGraph, std::collections::HashMap<String, gpm::PatternNodeId>) {
+fn p2() -> (
+    gpm::PatternGraph,
+    std::collections::HashMap<String, gpm::PatternNodeId>,
+) {
     let (p, ids) = PatternGraphBuilder::new()
         .node("CS", Predicate::label_eq("dept", "CS"))
         .node("Bio", Predicate::label_eq("dept", "Bio"))
@@ -157,7 +169,10 @@ fn example_2_3_result_graph() {
         .pattern_edges
         .iter()
         .any(|&(a, b, _)| a == p_ids["CS"] && b == p_ids["Soc"]));
-    assert!(!g2.has_edge(g_ids["DB"], g_ids["Soc"]), "witnessed by a path, not an edge");
+    assert!(
+        !g2.has_edge(g_ids["DB"], g_ids["Soc"]),
+        "witnessed by a path, not an edge"
+    );
 }
 
 /// Example 1.1 / Fig. 1: the drug-ring pattern P0 matches G0 with AM and S

@@ -60,13 +60,11 @@ fn graph_simulation_scales_without_distance_matrix() {
 #[test]
 fn incremental_maintenance_over_a_long_update_stream() {
     let graph = random_graph(&RandomGraphConfig::new(800, 2_400, 12).with_seed(10));
-    // DAG pattern for IncMatch.
-    let pattern = loop {
-        let (p, _) = generate_pattern(&graph, &PatternGenConfig::new(4, 4, 3).with_seed(31));
-        if p.is_dag() {
-            break p;
-        }
-    };
+    // DAG pattern for IncMatch; advance the seed until one comes out acyclic.
+    let pattern = (31..)
+        .map(|seed| generate_pattern(&graph, &PatternGenConfig::new(4, 4, 3).with_seed(seed)).0)
+        .find(|p| p.is_dag())
+        .expect("some seed yields a DAG pattern");
     let mut matcher = IncrementalMatcher::new(pattern.clone(), graph.clone());
     let updates = random_updates(&graph, &UpdateStreamConfig::mixed(300).with_seed(13));
     matcher.apply_batch(&updates).unwrap();

@@ -1,0 +1,468 @@
+//! Vendored, minimal serialization framework (offline stand-in for `serde`).
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the small serde surface the workspace needs: `#[derive(Serialize,
+//! Deserialize)]` plus impls for the std types used in graph structures.
+//!
+//! Instead of serde's visitor-based data model, everything round-trips
+//! through one concrete intermediate [`Value`] tree; `serde_json` renders
+//! that tree to/from JSON text. The derive macros generate the same external
+//! JSON shape as real serde's defaults: structs as objects, newtype structs
+//! transparently, unit enum variants as strings and payload variants as
+//! single-key objects, maps as objects with stringified keys.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+use std::hash::{BuildHasher, Hash};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The intermediate tree every serializable value passes through.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number without fractional part.
+    Int(i64),
+    /// JSON number with fractional part or exponent.
+    Float(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Seq(Vec<Value>),
+    /// JSON object, in insertion order.
+    Map(Vec<(String, Value)>),
+}
+
+/// Serialization/deserialization error: a plain message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error from any message.
+    pub fn custom(message: impl fmt::Display) -> Self {
+        Error(message.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+fn type_name(v: &Value) -> &'static str {
+    match v {
+        Value::Null => "null",
+        Value::Bool(_) => "bool",
+        Value::Int(_) => "integer",
+        Value::Float(_) => "float",
+        Value::Str(_) => "string",
+        Value::Seq(_) => "array",
+        Value::Map(_) => "object",
+    }
+}
+
+fn unexpected(expected: &str, got: &Value) -> Error {
+    Error::custom(format!("expected {expected}, found {}", type_name(got)))
+}
+
+impl Value {
+    /// Builds the value of a unit enum variant (`"Name"`).
+    pub fn unit_variant(name: &str) -> Value {
+        Value::Str(name.to_string())
+    }
+
+    /// Builds the value of a newtype enum variant (`{"Name": payload}`).
+    pub fn newtype_variant(name: &str, payload: Value) -> Value {
+        Value::Map(vec![(name.to_string(), payload)])
+    }
+
+    /// Builds the value of a tuple enum variant (`{"Name": [fields...]}`).
+    pub fn tuple_variant(name: &str, fields: Vec<Value>) -> Value {
+        Value::Map(vec![(name.to_string(), Value::Seq(fields))])
+    }
+
+    /// Builds the value of a struct enum variant (`{"Name": {fields...}}`).
+    pub fn struct_variant(name: &str, fields: Vec<(String, Value)>) -> Value {
+        Value::Map(vec![(name.to_string(), Value::Map(fields))])
+    }
+
+    /// Splits an enum value into `(variant_name, payload)`.
+    ///
+    /// Returns `None` if the value has neither the string form (unit
+    /// variants) nor the single-key-object form (payload variants).
+    pub fn as_variant(&self) -> Option<(&str, Option<&Value>)> {
+        match self {
+            Value::Str(name) => Some((name.as_str(), None)),
+            Value::Map(entries) if entries.len() == 1 => {
+                Some((entries[0].0.as_str(), Some(&entries[0].1)))
+            }
+            _ => None,
+        }
+    }
+
+    /// Looks up a struct field, treating a missing key as `null` (so
+    /// `Option` fields tolerate omission). Errors if `self` is not an
+    /// object.
+    pub fn field(&self, name: &str) -> Result<&Value, Error> {
+        static NULL: Value = Value::Null;
+        match self {
+            Value::Map(entries) => Ok(entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .unwrap_or(&NULL)),
+            other => Err(unexpected("object", other)),
+        }
+    }
+
+    /// Interprets the value as an array of exactly `n` elements.
+    pub fn tuple(&self, n: usize) -> Result<&[Value], Error> {
+        match self {
+            Value::Seq(items) if items.len() == n => Ok(items),
+            Value::Seq(items) => Err(Error::custom(format!(
+                "expected array of {n} elements, found {}",
+                items.len()
+            ))),
+            other => Err(unexpected("array", other)),
+        }
+    }
+}
+
+/// Types that can be converted into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into the intermediate tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self`, reporting shape/type mismatches as [`Error`]s.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(unexpected("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_integer {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| Error::custom(format!(
+                            "integer {i} out of range for {}", stringify!($t)
+                        ))),
+                    other => Err(unexpected("integer", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_integer!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Float(f) => Ok(*f),
+            Value::Int(i) => Ok(*i as f64),
+            other => Err(unexpected("number", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(unexpected("string", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(T::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(unexpected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(T::to_value).collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let items = v.tuple(0 $(+ { let _ = $idx; 1 })+)?;
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Converts a serialized key to the string form JSON objects require.
+///
+/// Like `serde_json`, integer keys become their decimal representation; other
+/// non-string keys are rejected.
+fn key_to_string(key: Value) -> Result<String, Error> {
+    match key {
+        Value::Str(s) => Ok(s),
+        Value::Int(i) => Ok(i.to_string()),
+        Value::Bool(b) => Ok(b.to_string()),
+        other => Err(Error::custom(format!(
+            "map key must be a string or integer, found {}",
+            type_name(&other)
+        ))),
+    }
+}
+
+/// Re-interprets a stringified map key for the key type to consume: decimal
+/// strings turn back into integers, everything else stays a string.
+fn key_from_string(key: &str) -> Value {
+    match key.parse::<i64>() {
+        Ok(i) => Value::Int(i),
+        Err(_) => Value::Str(key.to_string()),
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| {
+                let key = key_to_string(k.to_value()).expect("unsupported map key type");
+                (key, v.to_value())
+            })
+            .collect();
+        // HashMap iteration order is unstable; sort for canonical output.
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + Eq + Hash,
+    V: Deserialize,
+    S: BuildHasher + Default,
+{
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_value(&key_from_string(k))?, V::from_value(v)?)))
+                .collect(),
+            other => Err(unexpected("object", other)),
+        }
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| {
+                    let key = key_to_string(k.to_value()).expect("unsupported map key type");
+                    (key, v.to_value())
+                })
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_value(&key_from_string(k))?, V::from_value(v)?)))
+                .collect(),
+            other => Err(unexpected("object", other)),
+        }
+    }
+}
+
+impl<T: Serialize, S> Serialize for HashSet<T, S> {
+    fn to_value(&self) -> Value {
+        let mut items: Vec<Value> = self.iter().map(T::to_value).collect();
+        // HashSet iteration order is unstable; sort the rendered items for
+        // canonical output (cheap: sets here are small or serialization is
+        // not on a hot path).
+        items.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        Value::Seq(items)
+    }
+}
+
+impl<T, S> Deserialize for HashSet<T, S>
+where
+    T: Deserialize + Eq + Hash,
+    S: BuildHasher + Default,
+{
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(unexpected("array", other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u32::from_value(&42u32.to_value()), Ok(42));
+        assert_eq!(i64::from_value(&(-3i64).to_value()), Ok(-3));
+        assert_eq!(String::from_value(&"hi".to_value()), Ok("hi".to_string()));
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(f64::from_value(&2.5f64.to_value()), Ok(2.5));
+    }
+
+    #[test]
+    fn out_of_range_integer_rejected() {
+        assert!(u8::from_value(&Value::Int(300)).is_err());
+        assert!(u32::from_value(&Value::Int(-1)).is_err());
+    }
+
+    #[test]
+    fn option_tolerates_null_and_missing() {
+        assert_eq!(Option::<String>::from_value(&Value::Null), Ok(None));
+        let obj = Value::Map(vec![]);
+        assert_eq!(
+            Option::<String>::from_value(obj.field("absent").unwrap()),
+            Ok(None)
+        );
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![(1u32, "a".to_string()), (2, "b".to_string())];
+        let back = Vec::<(u32, String)>::from_value(&v.to_value()).unwrap();
+        assert_eq!(back, v);
+
+        let mut m = HashMap::new();
+        m.insert(7u32, vec![1u8, 2]);
+        let back = HashMap::<u32, Vec<u8>>::from_value(&m.to_value()).unwrap();
+        assert_eq!(back, m);
+
+        let mut s = HashSet::new();
+        s.insert((1u32, 2u32));
+        let back = HashSet::<(u32, u32)>::from_value(&s.to_value()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn variant_helpers() {
+        let unit = Value::unit_variant("Unbounded");
+        assert_eq!(unit.as_variant(), Some(("Unbounded", None)));
+        let newtype = Value::newtype_variant("Hops", Value::Int(3));
+        assert_eq!(newtype.as_variant(), Some(("Hops", Some(&Value::Int(3)))));
+        assert_eq!(Value::Seq(vec![]).as_variant(), None);
+    }
+}
