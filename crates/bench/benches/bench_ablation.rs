@@ -1,4 +1,4 @@
-//! Ablation benches for the design choices called out in DESIGN.md:
+//! Ablation benches for the implementation's design choices:
 //!
 //! * optimized `Match` (witness counters / premv-style propagation) vs the
 //!   naive fixpoint;

@@ -15,8 +15,37 @@
 //! * `--patterns <n>` — number of random patterns to average over where the
 //!   paper averages over 20.
 //!
-//! See EXPERIMENTS.md at the repository root for the experiment-by-experiment
-//! comparison against the numbers reported in the paper.
+//! ## Paper map
+//!
+//! | figure/table | binary |
+//! |--------------|--------|
+//! | Table 1 | `exp_table1_datasets` |
+//! | Exp-1 (match quality) | `exp1_effectiveness` |
+//! | Fig. 6(b)–(d) | `exp_fig6b_match_vs_vf2`, `exp_fig6c_match_counts`, `exp_fig6d_vary_edges` |
+//! | Fig. 6(e)–(h) | `exp_fig6e_real_datasets`, `exp_fig6fgh_scalability` |
+//! | Fig. 6(i)–(k) | `exp_fig6i_batch_updates`, `exp_fig6j_deletions`, `exp_fig6k_insertions` |
+//! | Fig. 9 | `exp_fig9_vary_bound` |
+//! | `\|AFF\|`, `\|Gr\|` stats (Section 5) | `exp_stats_aff_gr` |
+//!
+//! See BENCHMARKS.md at the repository root for the measurement protocol and
+//! the recorded result batches.
+//!
+//! ## Example
+//!
+//! The library pieces are reusable outside the binaries — timing helpers,
+//! the [`Subject`] wrapper (graph + shared distance matrix) and plain-text
+//! [`Table`] rendering:
+//!
+//! ```
+//! use gpm_bench::{fmt_ms, time, Table};
+//!
+//! let (sum, elapsed) = time(|| (0..1000u64).sum::<u64>());
+//! assert_eq!(sum, 499_500);
+//!
+//! let mut table = Table::new("demo", &["n", "elapsed (ms)"]);
+//! table.row(vec!["1000".into(), fmt_ms(elapsed)]);
+//! assert_eq!(table.len(), 1);
+//! ```
 
 use gpm::{DataGraph, DistanceMatrix, PatternGraph};
 use std::time::{Duration, Instant};

@@ -2,7 +2,7 @@
 //!
 //! Each harness binary prints one table whose rows correspond to the x-axis
 //! points of the figure it regenerates, so the output can be compared line by
-//! line with the paper (and pasted into EXPERIMENTS.md).
+//! line with the paper (and pasted into BENCHMARKS.md).
 
 /// A simple left-aligned text table.
 #[derive(Clone, Debug, Default)]

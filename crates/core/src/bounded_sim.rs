@@ -10,7 +10,7 @@
 //! The structure follows the paper: initial candidate sets `mat(u)` from the
 //! node predicates, then iterative removal of nodes that cannot witness some
 //! pattern edge, propagated upward until a fixpoint. Two representation
-//! choices differ from the pseudo-code but keep the bound (see DESIGN.md):
+//! choices differ from the pseudo-code but keep the bound:
 //!
 //! * `anc`/`desc` sets are not materialised; the distance oracle answers the
 //!   `len(x/.../x') <= f_e(u', u)` test in `O(1)` (distance matrix) — this is

@@ -14,7 +14,6 @@
 //! attribute schemas the paper describes (Example 2.3 lists the YouTube
 //! attributes: submitter, category, length, rate and age; we add views and
 //! comments which the sample patterns P' of Fig. 6(a) also query).
-//! See DESIGN.md for the substitution rationale.
 //!
 //! Every generator accepts a `scale` factor so the harness can run at laptop-
 //! friendly sizes by default and at full paper size with `scale = 1.0`.

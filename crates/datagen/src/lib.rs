@@ -9,15 +9,31 @@
 //!   the simulated real-life datasets;
 //! * [`datasets`] — simulated **Matter**, **PBlog** and **YouTube** graphs
 //!   with the node/edge counts and attribute schemas reported in the paper
-//!   (the actual crawls are not redistributable; DESIGN.md documents the
-//!   substitution);
+//!   (the actual crawls are not redistributable; the [`datasets`] module
+//!   docs explain the substitution);
 //! * [`pattern_gen`] — the pattern generator of the appendix (parameters
 //!   `|V_p|`, `|E_p|`, bound `k`, data graph `G`, biased towards positive
 //!   patterns);
 //! * [`updates`] — random edge insertion/deletion streams for the incremental
 //!   experiments (Figures 6(i)–(k)).
 //!
-//! All generators are deterministic given a seed.
+//! All generators are deterministic given a seed, and every generated graph
+//! is returned [compacted](gpm_graph::DataGraph::compact) — neighbour lists
+//! fully packed in the CSR base, ready for read-heavy matching.
+//!
+//! ## Example
+//!
+//! ```
+//! use gpm_datagen::{random_graph, RandomGraphConfig};
+//!
+//! let cfg = RandomGraphConfig::new(100, 300, 10).with_seed(42);
+//! let g = random_graph(&cfg);
+//! assert_eq!((g.node_count(), g.edge_count()), (100, 300));
+//! assert!(g.is_compact());
+//! // Same seed, same graph.
+//! let h = random_graph(&cfg);
+//! assert_eq!(g.edges().collect::<Vec<_>>(), h.edges().collect::<Vec<_>>());
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -8,7 +8,7 @@
 //! and its size is the first factor of the `O(|AFF1| |AFF2|²)` bound of
 //! Theorem 4.1.
 //!
-//! Implementation notes (see DESIGN.md for the substitution rationale):
+//! Implementation notes:
 //!
 //! * **insertion** of `(s, t)` can only shorten distances, and any new
 //!   shortest path uses the new edge exactly once, so

@@ -28,6 +28,34 @@
 //! it (or "unreachable" if it lies on no cycle), not 0. Everything in this
 //! crate works with that convention; standard distances are available where
 //! needed via [`DistanceMatrix::standard_distance`].
+//!
+//! ## Paper map
+//!
+//! | paper | here |
+//! |-------|------|
+//! | matrix `M`, Theorem 3.1 proof | [`DistanceMatrix`] (`build` = one BFS per source) |
+//! | "BFS" curves, Fig. 6(f)–(h) | [`BfsOracle`] |
+//! | "2-hop" curves, Fig. 6(f)–(h) | [`TwoHopIndex`] / [`TwoHopOracle`] |
+//! | `UpdateM` / `UpdateBM`, Section 4 | [`update_matrix`] / [`update_matrix_batch`] |
+//! | `AFF1` | [`AffectedPairs`] |
+//!
+//! All oracles consume the data graph through its CSR slice accessors
+//! (`out_neighbors`/`in_neighbors`), so every BFS expansion scans contiguous
+//! memory.
+//!
+//! ## Example
+//!
+//! ```
+//! use gpm_distance::DistanceMatrix;
+//! use gpm_graph::{DataGraph, NodeId};
+//!
+//! // 0 -> 1 -> 2 -> 0: every node lies on a 3-cycle.
+//! let g = DataGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap();
+//! let m = DistanceMatrix::build(&g);
+//! assert_eq!(m.nonempty_distance(NodeId::new(0), NodeId::new(2)), Some(2));
+//! // Non-empty convention: the diagonal holds the shortest cycle length.
+//! assert_eq!(m.nonempty_distance(NodeId::new(0), NodeId::new(0)), Some(3));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

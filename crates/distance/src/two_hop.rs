@@ -5,8 +5,8 @@
 //! cannot reach `y` at all, the pair is discarded in constant time; otherwise
 //! a BFS computes the exact distance (appendix, "2-hop labeling").
 //!
-//! Constructing a minimum 2-hop cover is NP-hard, so — as documented in
-//! DESIGN.md — we build the labels with a **pruned landmark labeling**
+//! Constructing a minimum 2-hop cover is NP-hard, so this implementation
+//! substitutes a **pruned landmark labeling**
 //! (degree-descending landmark order, pruned forward/backward BFS). The
 //! result is a correct, exact 2-hop distance/reachability labeling with the
 //! same query interface; only the cover-construction heuristic differs from

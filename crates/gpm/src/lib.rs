@@ -16,6 +16,10 @@
 //!
 //! The most common entry points are also re-exported at the crate root.
 //!
+//! Data graphs store their adjacency in compressed-sparse-row form with a
+//! delta overlay for incremental updates — see the "Physical layout" section
+//! of the [`graph`] module docs and [`DataGraph::compact`].
+//!
 //! ## Quickstart
 //!
 //! ```

@@ -85,6 +85,7 @@ impl DataGraphBuilder {
                 .ok_or_else(|| GraphError::Parse(format!("unknown node name `{to}`")))?;
             self.graph.try_add_edge(f, t)?;
         }
+        self.graph.compact();
         Ok((self.graph, self.names))
     }
 }

@@ -8,13 +8,20 @@
 //! The structure is optimised for the access patterns of the matching
 //! algorithms:
 //!
-//! * forward and reverse adjacency lists (`Match` walks edges both ways when
-//!   propagating removals to ancestors);
+//! * forward and reverse adjacency in **compressed-sparse-row** form
+//!   (offsets + one flat neighbour array per direction),
+//!   so the BFS-heavy distance oracles and the matcher's candidate
+//!   refinement scan contiguous memory; `Match` walks edges both ways when
+//!   propagating removals to ancestors;
+//! * a **delta overlay** on top of each CSR base so the incremental
+//!   algorithms can insert/delete edges in `O(deg)` per update (never a full
+//!   `O(|E|)` rebuild); [`DataGraph::compact`] folds the overlay back;
 //! * `O(1)` expected edge-membership tests (incremental updates check for
 //!   duplicates);
 //! * dense `u32` node ids so per-node state can live in flat vectors.
 
 use crate::attributes::Attributes;
+use crate::csr::CsrAdjacency;
 use crate::error::GraphError;
 use crate::node_id::NodeId;
 use crate::predicate::Predicate;
@@ -26,8 +33,8 @@ use serde::{Deserialize, Serialize};
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct DataGraph {
     attrs: Vec<Attributes>,
-    out_adj: Vec<Vec<NodeId>>,
-    in_adj: Vec<Vec<NodeId>>,
+    out_adj: CsrAdjacency,
+    in_adj: CsrAdjacency,
     edge_set: FxHashSet<(u32, u32)>,
     edge_count: usize,
 }
@@ -42,8 +49,8 @@ impl DataGraph {
     pub fn with_capacity(nodes: usize) -> Self {
         DataGraph {
             attrs: Vec::with_capacity(nodes),
-            out_adj: Vec::with_capacity(nodes),
-            in_adj: Vec::with_capacity(nodes),
+            out_adj: CsrAdjacency::with_capacity(nodes),
+            in_adj: CsrAdjacency::with_capacity(nodes),
             edge_set: FxHashSet::default(),
             edge_count: 0,
         }
@@ -76,8 +83,8 @@ impl DataGraph {
     pub fn add_node(&mut self, attrs: impl Into<Attributes>) -> NodeId {
         let id = NodeId::new(self.attrs.len() as u32);
         self.attrs.push(attrs.into());
-        self.out_adj.push(Vec::new());
-        self.in_adj.push(Vec::new());
+        self.out_adj.push_node();
+        self.in_adj.push_node();
         id
     }
 
@@ -100,8 +107,8 @@ impl DataGraph {
         if !self.edge_set.insert((from.0, to.0)) {
             return Err(GraphError::DuplicateEdge(from, to));
         }
-        self.out_adj[from.index()].push(to);
-        self.in_adj[to.index()].push(from);
+        self.out_adj.insert(from, to);
+        self.in_adj.insert(to, from);
         self.edge_count += 1;
         Ok(())
     }
@@ -125,8 +132,8 @@ impl DataGraph {
         if !self.edge_set.remove(&(from.0, to.0)) {
             return Err(GraphError::MissingEdge(from, to));
         }
-        retain_first_removed(&mut self.out_adj[from.index()], to);
-        retain_first_removed(&mut self.in_adj[to.index()], from);
+        self.out_adj.remove(from, to);
+        self.in_adj.remove(to, from);
         self.edge_count -= 1;
         Ok(())
     }
@@ -137,28 +144,58 @@ impl DataGraph {
         self.edge_set.contains(&(from.0, to.0))
     }
 
-    /// The out-neighbours ("children") of `v`, in insertion order.
+    /// The out-neighbours ("children") of `v`, in insertion order, as one
+    /// contiguous slice (the CSR base, or the node's overlay list if `v` was
+    /// mutated since the last [`compact`](DataGraph::compact)).
     #[inline]
     pub fn out_neighbors(&self, v: NodeId) -> &[NodeId] {
-        &self.out_adj[v.index()]
+        self.out_adj.neighbors(v)
     }
 
-    /// The in-neighbours ("parents") of `v`, in insertion order.
+    /// The in-neighbours ("parents") of `v`, in insertion order, as one
+    /// contiguous slice.
     #[inline]
     pub fn in_neighbors(&self, v: NodeId) -> &[NodeId] {
-        &self.in_adj[v.index()]
+        self.in_adj.neighbors(v)
     }
 
     /// Out-degree of `v`.
     #[inline]
     pub fn out_degree(&self, v: NodeId) -> usize {
-        self.out_adj[v.index()].len()
+        self.out_adj.degree(v)
     }
 
     /// In-degree of `v`.
     #[inline]
     pub fn in_degree(&self, v: NodeId) -> usize {
-        self.in_adj[v.index()].len()
+        self.in_adj.degree(v)
+    }
+
+    /// Whether both adjacency directions are fully packed in their CSR base
+    /// (no node's neighbour list lives in the delta overlay).
+    #[inline]
+    pub fn is_compact(&self) -> bool {
+        self.out_adj.is_compact() && self.in_adj.is_compact()
+    }
+
+    /// Number of nodes whose neighbour lists currently live in the delta
+    /// overlay rather than the CSR base, per direction `(out, in)`.
+    /// Diagnostic for deciding when a [`compact`](DataGraph::compact) pays
+    /// off.
+    pub fn overlay_sizes(&self) -> (usize, usize) {
+        (self.out_adj.overlay_len(), self.in_adj.overlay_len())
+    }
+
+    /// Folds the delta overlays of both directions back into freshly-packed
+    /// CSR bases, restoring contiguous iteration for every node.
+    ///
+    /// `O(|V| + |E|)` and a no-op when already compact. Bulk constructors
+    /// (builders, IO loaders, the `gpm-datagen` generators) call this once
+    /// after loading; long-running incremental workloads may call it at
+    /// convenient quiesce points.
+    pub fn compact(&mut self) {
+        self.out_adj.compact();
+        self.in_adj.compact();
     }
 
     /// The attribute tuple of `v`.
@@ -179,10 +216,8 @@ impl DataGraph {
 
     /// Iterates over all edges as `(from, to)` pairs, grouped by source.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        self.out_adj.iter().enumerate().flat_map(|(i, outs)| {
-            let from = NodeId::new(i as u32);
-            outs.iter().map(move |&to| (from, to))
-        })
+        self.nodes()
+            .flat_map(move |from| self.out_neighbors(from).iter().map(move |&to| (from, to)))
     }
 
     /// All nodes whose attributes satisfy `pred` — the initial candidate set
@@ -211,6 +246,7 @@ impl DataGraph {
             // Original graph has no duplicates, so neither does the reverse.
             g.add_edge(b, a).expect("reversed edge cannot be duplicate");
         }
+        g.compact();
         g
     }
 
@@ -237,6 +273,7 @@ impl DataGraph {
                 }
             }
         }
+        g.compact();
         (g, new_to_old)
     }
 
@@ -254,6 +291,7 @@ impl DataGraph {
         for &(a, b) in edges {
             g.try_add_edge(NodeId::new(a), NodeId::new(b))?;
         }
+        g.compact();
         Ok(g)
     }
 
@@ -264,14 +302,6 @@ impl DataGraph {
         } else {
             Err(GraphError::UnknownNode(v))
         }
-    }
-}
-
-/// Removes the first occurrence of `target` from `list` (swap-remove; order of
-/// adjacency lists is not semantically meaningful once edges are deleted).
-fn retain_first_removed(list: &mut Vec<NodeId>, target: NodeId) {
-    if let Some(pos) = list.iter().position(|&x| x == target) {
-        list.swap_remove(pos);
     }
 }
 
@@ -459,6 +489,54 @@ mod tests {
         assert_eq!(g.total_degree(n(0)), 2);
     }
 
+    #[test]
+    fn compact_folds_overlay_and_preserves_neighbors() {
+        let mut g = triangle();
+        assert_eq!(g.overlay_sizes(), (3, 3)); // built edge-by-edge
+        g.compact();
+        assert!(g.is_compact());
+        assert_eq!(g.overlay_sizes(), (0, 0));
+        assert_eq!(g.out_neighbors(n(0)), &[n(1)]);
+        assert_eq!(g.in_neighbors(n(0)), &[n(2)]);
+
+        // A post-compaction update dirties exactly the touched endpoints.
+        g.add_edge(n(0), n(2)).unwrap();
+        assert!(!g.is_compact());
+        assert_eq!(g.overlay_sizes(), (1, 1));
+        let mut outs = g.out_neighbors(n(0)).to_vec();
+        outs.sort();
+        assert_eq!(outs, vec![n(1), n(2)]);
+        assert_eq!(g.out_neighbors(n(1)), &[n(2)]); // untouched: CSR base
+
+        g.compact();
+        assert!(g.is_compact());
+        assert_eq!(g.edge_count(), 4);
+    }
+
+    #[test]
+    fn compact_is_idempotent_and_cheap_on_compact_graphs() {
+        let mut g = DataGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert!(g.is_compact()); // from_edges compacts on return
+        g.compact();
+        g.compact();
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.out_neighbors(n(1)), &[n(2)]);
+    }
+
+    #[test]
+    fn nodes_added_while_overlay_dirty() {
+        let mut g = DataGraph::new();
+        g.add_nodes(2);
+        g.add_edge(n(0), n(1)).unwrap();
+        let v = g.add_node(Attributes::labeled("late"));
+        g.add_edge(v, n(0)).unwrap();
+        assert_eq!(g.out_neighbors(v), &[n(0)]);
+        g.compact();
+        assert_eq!(g.out_neighbors(v), &[n(0)]);
+        assert_eq!(g.in_neighbors(n(0)), &[v]);
+        assert_eq!(g.attributes(v).label(), Some("late"));
+    }
+
     proptest! {
         /// Adding then removing a random set of edges leaves counts and
         /// adjacency membership consistent with the edge set.
@@ -494,6 +572,63 @@ mod tests {
                 for &b in g.in_neighbors(n(a)) {
                     prop_assert!(reference.contains(&(b.0, a)));
                 }
+            }
+        }
+
+        /// Interleaving edge insertions, deletions and compactions leaves
+        /// the neighbour sets exactly as the pre-CSR `Vec<Vec<_>>` layout
+        /// would have them: equal to the edge set, in both directions.
+        #[test]
+        fn prop_csr_overlay_matches_edge_set_under_compaction(
+            ops in proptest::collection::vec((0u32..15, 0u32..15, 0u8..8), 0..160),
+        ) {
+            let mut g = DataGraph::new();
+            g.add_nodes(15);
+            let mut reference = std::collections::HashSet::new();
+            for &(a, b, kind) in &ops {
+                match kind {
+                    0..=4 => {
+                        let inserted = g.try_add_edge(n(a), n(b)).unwrap();
+                        prop_assert_eq!(inserted, reference.insert((a, b)));
+                    }
+                    5..=6 => {
+                        if reference.remove(&(a, b)) {
+                            g.remove_edge(n(a), n(b)).unwrap();
+                        } else {
+                            prop_assert!(g.remove_edge(n(a), n(b)).is_err());
+                        }
+                    }
+                    _ => {
+                        g.compact();
+                        prop_assert!(g.is_compact());
+                    }
+                }
+                prop_assert_eq!(g.edge_count(), reference.len());
+            }
+            // Neighbour sets agree with the reference edge set in both
+            // directions, before and after a final compaction.
+            for pass in 0..2 {
+                for a in 0..15u32 {
+                    let mut outs: Vec<u32> = g.out_neighbors(n(a)).iter().map(|w| w.0).collect();
+                    outs.sort_unstable();
+                    let mut expected: Vec<u32> = reference
+                        .iter()
+                        .filter(|&&(x, _)| x == a)
+                        .map(|&(_, y)| y)
+                        .collect();
+                    expected.sort_unstable();
+                    prop_assert_eq!(outs, expected, "out({}) pass {}", a, pass);
+                    let mut ins: Vec<u32> = g.in_neighbors(n(a)).iter().map(|w| w.0).collect();
+                    ins.sort_unstable();
+                    let mut expected: Vec<u32> = reference
+                        .iter()
+                        .filter(|&&(_, y)| y == a)
+                        .map(|&(x, _)| x)
+                        .collect();
+                    expected.sort_unstable();
+                    prop_assert_eq!(ins, expected, "in({}) pass {}", a, pass);
+                }
+                g.compact();
             }
         }
 

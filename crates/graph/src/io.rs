@@ -123,6 +123,7 @@ pub fn data_graph_from_edge_list(text: &str) -> Result<DataGraph> {
     for (a, b) in edges {
         g.try_add_edge(NodeId::new(a), NodeId::new(b))?;
     }
+    g.compact();
     Ok(g)
 }
 

@@ -18,6 +18,18 @@
 //! builders and (de)serialization. Matching lives in `gpm-core`,
 //! `gpm-incremental` and `gpm-iso`; distance oracles live in `gpm-distance`.
 //!
+//! ## Physical layout
+//!
+//! [`DataGraph`] stores each adjacency direction in **compressed-sparse-row**
+//! form — an offsets array plus one flat neighbour array — with a per-node
+//! **delta overlay** absorbing edge insertions/deletions in `O(deg)` per
+//! update. [`DataGraph::out_neighbors`]/[`DataGraph::in_neighbors`] always
+//! return one contiguous slice, so the BFS loops of the distance oracles and
+//! the matcher's candidate refinement scan linear memory.
+//! [`DataGraph::compact`] folds the overlay back into the CSR base; bulk
+//! constructors (builders, IO loaders, the `gpm-datagen` generators) do so
+//! automatically.
+//!
 //! ## Quick tour
 //!
 //! ```
@@ -46,6 +58,7 @@
 
 pub mod attributes;
 pub mod builder;
+mod csr;
 pub mod data_graph;
 pub mod edge_bound;
 pub mod error;

@@ -18,6 +18,41 @@
 //! distance changed — from `gpm-distance`) and `AFF2` (match pairs added or
 //! removed), whose sizes drive the `O(|AFF1| |AFF2|²)` bound of Theorem 4.1
 //! and the `|AFF|` annotations of Figures 6(i)–(k).
+//!
+//! Updates mutate the data graph's CSR layout through its delta overlay
+//! (`O(deg)` per touched node, no full rebuild);
+//! [`IncrementalMatcher::compact_graph`] folds the overlay back at quiesce
+//! points.
+//!
+//! ## Example
+//!
+//! ```
+//! use gpm_graph::{DataGraphBuilder, PatternGraphBuilder};
+//! use gpm_incremental::IncrementalMatcher;
+//! use gpm_distance::EdgeUpdate;
+//!
+//! let (g, ids) = DataGraphBuilder::new()
+//!     .labeled_node("boss")
+//!     .labeled_node("mid")
+//!     .labeled_node("worker")
+//!     .edge("boss", "mid")
+//!     .build()
+//!     .unwrap();
+//! let (p, _) = PatternGraphBuilder::new()
+//!     .labeled_node("boss")
+//!     .labeled_node("worker")
+//!     .edge("boss", "worker", 2u32)
+//!     .build()
+//!     .unwrap();
+//!
+//! let mut matcher = IncrementalMatcher::new(p, g);
+//! assert!(!matcher.is_match()); // no path from boss to worker yet
+//!
+//! // One inserted edge completes boss -> mid -> worker: Match+ repairs the
+//! // match without recomputing it from scratch.
+//! matcher.apply(EdgeUpdate::Insert(ids["mid"], ids["worker"])).unwrap();
+//! assert!(matcher.is_match());
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

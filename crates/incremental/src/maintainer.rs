@@ -80,6 +80,18 @@ impl IncrementalMatcher {
         self.recompute_fallbacks
     }
 
+    /// Folds the data graph's CSR delta overlay back into its base arrays
+    /// (see [`DataGraph::compact`]).
+    ///
+    /// Incremental updates deliberately leave per-node side lists behind
+    /// instead of rebuilding the CSR layout on every edge change; calling
+    /// this at a quiesce point (end of an update burst, before a read-heavy
+    /// phase) restores fully contiguous neighbour iteration. Never required
+    /// for correctness.
+    pub fn compact_graph(&mut self) {
+        self.graph.compact();
+    }
+
     /// Applies a single edge update incrementally.
     ///
     /// Deletions use `Match−` (any pattern); insertions use `Match+` for DAG
@@ -241,6 +253,26 @@ mod tests {
         let recomputed =
             bounded_simulation_with_oracle(matcher.pattern(), matcher.graph(), matcher.matrix());
         assert_eq!(matcher.relation(), recomputed.relation);
+    }
+
+    #[test]
+    fn compacting_between_update_bursts_preserves_consistency() {
+        let g = random_graph(&RandomGraphConfig::new(40, 90, 4).with_seed(21));
+        let mut matcher = IncrementalMatcher::new(dag_pattern(), g.clone());
+        let updates = random_updates(&g, &UpdateStreamConfig::mixed(24).with_seed(22));
+        for (i, u) in updates.into_iter().enumerate() {
+            matcher.apply(u).unwrap();
+            if i % 8 == 7 {
+                matcher.compact_graph();
+                assert!(matcher.graph().is_compact());
+                let recomputed = bounded_simulation_with_oracle(
+                    matcher.pattern(),
+                    matcher.graph(),
+                    matcher.matrix(),
+                );
+                assert_eq!(matcher.relation(), recomputed.relation);
+            }
+        }
     }
 
     #[test]

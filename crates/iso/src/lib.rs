@@ -18,6 +18,30 @@
 //! Because the number of embeddings can be exponential, enumeration is capped
 //! by [`IsoConfig::max_embeddings`] and [`IsoConfig::max_steps`]; the outcome
 //! records whether a cap was hit.
+//!
+//! ## Example
+//!
+//! ```
+//! use gpm_graph::{DataGraphBuilder, PatternGraphBuilder};
+//! use gpm_iso::{subgraph_isomorphism_vf2, IsoConfig};
+//!
+//! let (g, _) = DataGraphBuilder::new()
+//!     .labeled_node("a")
+//!     .labeled_node("b")
+//!     .labeled_node("c")
+//!     .path(&["a", "b", "c"])
+//!     .build()
+//!     .unwrap();
+//! let (p, _) = PatternGraphBuilder::new()
+//!     .labeled_node("a")
+//!     .labeled_node("b")
+//!     .edge("a", "b", 1u32)
+//!     .build()
+//!     .unwrap();
+//!
+//! let outcome = subgraph_isomorphism_vf2(&p, &g, &IsoConfig::default());
+//! assert_eq!(outcome.embeddings.len(), 1); // exactly one a -> b edge
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
