@@ -1,7 +1,10 @@
 //! Minimal command-line argument handling shared by the experiment binaries.
 //!
-//! Only three flags are needed (`--scale`, `--seed`, `--patterns`), so a tiny
-//! hand-rolled parser keeps the harness free of CLI dependencies.
+//! Only four flags are needed (`--scale`, `--seed`, `--patterns`,
+//! `--threads`), so a tiny hand-rolled parser keeps the harness free of CLI
+//! dependencies.
+
+use gpm::Parallelism;
 
 /// Common harness arguments.
 #[derive(Clone, Debug, PartialEq)]
@@ -12,6 +15,10 @@ pub struct HarnessArgs {
     pub seed: u64,
     /// Number of random patterns to average over.
     pub patterns: usize,
+    /// Worker threads for the parallel runtime (`0` = process default:
+    /// `GPM_THREADS` or all available cores). Lets the Fig. 6(f)–(h)
+    /// experiments sweep 1→8 cores from the command line.
+    pub threads: usize,
 }
 
 impl Default for HarnessArgs {
@@ -20,6 +27,7 @@ impl Default for HarnessArgs {
             scale: 0.25,
             seed: 2010,
             patterns: 5,
+            threads: 0,
         }
     }
 }
@@ -51,9 +59,15 @@ impl HarnessArgs {
                         .parse()
                         .map_err(|e| format!("invalid --patterns: {e}"))?;
                 }
+                "--threads" => {
+                    out.threads = take_value("--threads")?
+                        .parse()
+                        .map_err(|e| format!("invalid --threads: {e}"))?;
+                }
                 "--help" | "-h" => {
                     return Err(
-                        "usage: <experiment> [--scale <f>] [--seed <n>] [--patterns <n>]"
+                        "usage: <experiment> [--scale <f>] [--seed <n>] [--patterns <n>] \
+                         [--threads <n>]"
                             .to_string(),
                     )
                 }
@@ -84,6 +98,16 @@ impl HarnessArgs {
     pub fn scaled(&self, paper_size: usize) -> usize {
         ((paper_size as f64 * self.scale).round() as usize).max(8)
     }
+
+    /// The [`Parallelism`] policy selected by `--threads` (the process
+    /// default when the flag is 0/absent).
+    pub fn parallelism(&self) -> Parallelism {
+        if self.threads == 0 {
+            Parallelism::from_env()
+        } else {
+            Parallelism::new(self.threads)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -103,10 +127,29 @@ mod tests {
 
     #[test]
     fn parses_all_flags() {
-        let a = parse(&["--scale", "0.5", "--seed", "99", "--patterns", "20"]).unwrap();
+        let a = parse(&[
+            "--scale",
+            "0.5",
+            "--seed",
+            "99",
+            "--patterns",
+            "20",
+            "--threads",
+            "4",
+        ])
+        .unwrap();
         assert_eq!(a.scale, 0.5);
         assert_eq!(a.seed, 99);
         assert_eq!(a.patterns, 20);
+        assert_eq!(a.threads, 4);
+        assert_eq!(a.parallelism().threads(), 4);
+    }
+
+    #[test]
+    fn threads_zero_means_process_default() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.threads, 0);
+        assert!(a.parallelism().threads() >= 1);
     }
 
     #[test]
@@ -115,6 +158,7 @@ mod tests {
         assert!(parse(&["--scale", "abc"]).is_err());
         assert!(parse(&["--scale", "-1"]).is_err());
         assert!(parse(&["--patterns", "0"]).is_err());
+        assert!(parse(&["--threads", "x"]).is_err());
         assert!(parse(&["--bogus"]).is_err());
         assert!(parse(&["--help"]).is_err());
     }

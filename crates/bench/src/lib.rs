@@ -13,7 +13,11 @@
 //!   paper's sizes);
 //! * `--seed <n>` — RNG seed for graphs, patterns and update streams;
 //! * `--patterns <n>` — number of random patterns to average over where the
-//!   paper averages over 20.
+//!   paper averages over 20;
+//! * `--threads <n>` — worker threads for the `gpm-exec` parallel runtime
+//!   (0 = process default, i.e. `GPM_THREADS` or all available cores);
+//!   running `exp_fig6fgh_scalability` at 1, 2, 4, 8 sweeps the core-scaling
+//!   curves.
 //!
 //! ## Paper map
 //!
@@ -47,7 +51,7 @@
 //! assert_eq!(table.len(), 1);
 //! ```
 
-use gpm::{DataGraph, DistanceMatrix, PatternGraph};
+use gpm::{DataGraph, DistanceMatrix, Executor, Parallelism, PatternGraph};
 use std::time::{Duration, Instant};
 
 pub mod args;
@@ -90,12 +94,17 @@ pub struct Subject {
 }
 
 impl Subject {
-    /// Builds the subject for a data graph, timing the matrix construction.
+    /// Builds the subject for a data graph, timing the matrix construction
+    /// (process-default [`Parallelism`] policy).
     pub fn new(graph: DataGraph) -> Self {
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-        let (matrix, matrix_build_time) = time(|| DistanceMatrix::build_parallel(&graph, threads));
+        Self::with_parallelism(graph, Parallelism::from_env())
+    }
+
+    /// Builds the subject with an explicit [`Parallelism`] policy (the
+    /// experiment binaries pass `--threads` through here).
+    pub fn with_parallelism(graph: DataGraph, parallelism: Parallelism) -> Self {
+        let exec = Executor::new(parallelism);
+        let (matrix, matrix_build_time) = time(|| DistanceMatrix::build_with(&graph, &exec));
         Subject {
             graph,
             matrix,

@@ -24,6 +24,7 @@
 
 use crate::match_relation::MatchRelation;
 use gpm_distance::{DistanceMatrix, DistanceOracle};
+use gpm_exec::Executor;
 use gpm_graph::{DataGraph, NodeId, PatternGraph, PatternNodeId};
 
 /// Counters and outcome metadata of a `Match` run.
@@ -62,17 +63,61 @@ impl MatchOutcome {
 /// This is the convenience entry point; use
 /// [`bounded_simulation_with_oracle`] to reuse a prebuilt matrix (the paper
 /// computes `M` once and shares it across patterns) or to select the BFS /
-/// 2-hop variants.
+/// 2-hop variants. Both the matrix construction and the refinement run on
+/// the process-default [`gpm_exec::Parallelism`] policy (all available cores, or
+/// `GPM_THREADS`); see [`bounded_simulation_on`] to choose explicitly.
 pub fn bounded_simulation(pattern: &PatternGraph, graph: &DataGraph) -> MatchOutcome {
-    let matrix = DistanceMatrix::build(graph);
-    bounded_simulation_with_oracle(pattern, graph, &matrix)
+    bounded_simulation_on(pattern, graph, &Executor::from_env())
 }
 
-/// Runs `Match` against an arbitrary [`DistanceOracle`].
-pub fn bounded_simulation_with_oracle<O: DistanceOracle + ?Sized>(
+/// Runs `Match` (matrix construction included) on an explicit executor.
+pub fn bounded_simulation_on(
+    pattern: &PatternGraph,
+    graph: &DataGraph,
+    exec: &Executor,
+) -> MatchOutcome {
+    let matrix = DistanceMatrix::build_with(graph, exec);
+    bounded_simulation_with_oracle_on(pattern, graph, &matrix, exec)
+}
+
+/// Runs `Match` against an arbitrary [`DistanceOracle`] on the
+/// process-default [`gpm_exec::Parallelism`] policy.
+pub fn bounded_simulation_with_oracle<O: DistanceOracle + Sync + ?Sized>(
     pattern: &PatternGraph,
     graph: &DataGraph,
     oracle: &O,
+) -> MatchOutcome {
+    bounded_simulation_with_oracle_on(pattern, graph, oracle, &Executor::from_env())
+}
+
+/// Runs `Match` against an arbitrary [`DistanceOracle`] on an explicit
+/// executor.
+///
+/// ## Parallel structure (and why the output is exactly sequential)
+///
+/// The three phases of the refinement are data-parallel over disjoint
+/// state, and every merge is performed in a fixed (pattern-edge, data-node)
+/// order that does not depend on the thread count or chunking:
+///
+/// 1. **initial candidates** — one task per pattern node, each owning its
+///    `mat(u)` bitmap row;
+/// 2. **witness-counter initialisation** — the `O(|E_p||V|²)` scan is split
+///    into (pattern edge × data-node chunk) tasks, each owning a disjoint
+///    `cnt[e][x..y]` range;
+/// 3. **removal propagation** — processed in *waves*: all removals of the
+///    current wave are grouped per pattern node, the counter decrements they
+///    imply are computed in parallel against the wave-start membership
+///    (pure reads), and then applied in the fixed merge order, emitting the
+///    next wave. Chaotic-iteration confluence makes any wave order reach the
+///    same greatest fixpoint; the fixed merge order additionally makes the
+///    run — including [`MatchStats`] and early-failure behaviour —
+///    bit-identical at every thread count, which is what the determinism
+///    suite asserts.
+pub fn bounded_simulation_with_oracle_on<O: DistanceOracle + Sync + ?Sized>(
+    pattern: &PatternGraph,
+    graph: &DataGraph,
+    oracle: &O,
+    exec: &Executor,
 ) -> MatchOutcome {
     let np = pattern.node_count();
     let nv = graph.node_count();
@@ -86,20 +131,30 @@ pub fn bounded_simulation_with_oracle<O: DistanceOracle + ?Sized>(
         };
     }
 
-    // mat(u) as a membership bitmap per pattern node (lines 4-5 of Fig. 4).
-    let mut member: Vec<Vec<bool>> = vec![vec![false; nv]; np];
-    let mut live_count: Vec<usize> = vec![0; np];
-    for u in pattern.node_ids() {
+    // mat(u) as a membership bitmap per pattern node (lines 4-5 of Fig. 4),
+    // computed as one independent task per pattern node (work hint: each
+    // task scans all |V| data nodes).
+    let initial: Vec<(Vec<bool>, usize)> = exec.map_tasks(np, nv, |ui| {
+        let u = PatternNodeId::new(ui as u32);
         let needs_out_edge = pattern.out_degree(u) > 0;
+        let mut row = vec![false; nv];
+        let mut live = 0usize;
         for v in graph.nodes_satisfying(pattern.predicate(u)) {
             if needs_out_edge && graph.out_degree(v) == 0 {
                 continue;
             }
-            member[u.index()][v.index()] = true;
-            live_count[u.index()] += 1;
+            row[v.index()] = true;
+            live += 1;
         }
-        stats.initial_candidates += live_count[u.index()];
-        if live_count[u.index()] == 0 {
+        (row, live)
+    });
+    let mut member: Vec<Vec<bool>> = Vec::with_capacity(np);
+    let mut live_count: Vec<usize> = Vec::with_capacity(np);
+    for (row, live) in initial {
+        member.push(row);
+        live_count.push(live);
+        stats.initial_candidates += live;
+        if live == 0 {
             stats.failed_early = true;
             return MatchOutcome {
                 relation: MatchRelation::empty(np),
@@ -108,24 +163,34 @@ pub fn bounded_simulation_with_oracle<O: DistanceOracle + ?Sized>(
         }
     }
 
+    // Data-node chunking shared by phases 2 and 3. The merge order below is
+    // (edge, x ascending) for *any* chunk count, so this choice affects
+    // scheduling only, never results.
+    let n_chunks = if exec.parallelism().should_parallelise(nv) {
+        (exec.threads() * 4).min(nv.max(1))
+    } else {
+        1
+    };
+    let chunk_len = nv.div_ceil(n_chunks).max(1);
+
     // Witness counters per pattern edge: cnt[e][x] = |{y in mat(to(e)) :
     // within(x, y, bound(e))}| for x in mat(from(e)).
     //
     // All counters are computed against the *initial* candidate sets before
     // any removal takes place, so that every later removal of a witness `y`
-    // corresponds to exactly one decrement.
+    // corresponds to exactly one decrement. Each (edge, chunk) task owns a
+    // disjoint counter range; chunk results are stitched back in task order.
     let edges: Vec<_> = pattern.edges().copied().collect();
-    let mut counters: Vec<Vec<u32>> = vec![vec![0; nv]; edges.len()];
-    // Worklist of removed (pattern node, data node) pairs to propagate.
-    let mut worklist: Vec<(PatternNodeId, NodeId)> = Vec::new();
-    // Candidates found witness-less during counter initialisation; their
-    // removal is deferred until all counters are in place.
-    let mut pending: Vec<(PatternNodeId, NodeId)> = Vec::new();
-
-    for (ei, e) in edges.iter().enumerate() {
+    let ne = edges.len();
+    let init_chunks: Vec<(Vec<u32>, Vec<u32>)> = exec.map_tasks(ne * n_chunks, nv, |ti| {
+        let e = &edges[ti / n_chunks];
+        let ci = ti % n_chunks;
         let from = e.from.index();
         let to = e.to.index();
-        for x in 0..nv {
+        let (start, end) = chunk_range(ci, chunk_len, nv);
+        let mut counts = vec![0u32; end - start];
+        let mut witnessless: Vec<u32> = Vec::new();
+        for x in start..end {
             if !member[from][x] {
                 continue;
             }
@@ -136,19 +201,39 @@ pub fn bounded_simulation_with_oracle<O: DistanceOracle + ?Sized>(
                     count += 1;
                 }
             }
-            counters[ei][x] = count;
+            counts[x - start] = count;
             if count == 0 {
                 // x cannot witness edge e: schedule its removal from mat(from).
-                pending.push((e.from, xv));
+                witnessless.push(x as u32);
             }
         }
+        (counts, witnessless)
+    });
+    let mut counters: Vec<Vec<u32>> = Vec::with_capacity(ne);
+    // Candidates found witness-less during counter initialisation; their
+    // removal is deferred until all counters are in place.
+    let mut pending: Vec<(PatternNodeId, NodeId)> = Vec::new();
+    for (ti, (counts, witnessless)) in init_chunks.into_iter().enumerate() {
+        let ei = ti / n_chunks;
+        if ti % n_chunks == 0 {
+            counters.push(Vec::with_capacity(nv));
+        }
+        counters[ei].extend(counts);
+        pending.extend(
+            witnessless
+                .into_iter()
+                .map(|x| (edges[ei].from, NodeId::new(x))),
+        );
     }
+
+    // First wave of removals.
+    let mut wave: Vec<(PatternNodeId, NodeId)> = Vec::new();
     for (u, x) in pending {
         if member[u.index()][x.index()] {
             member[u.index()][x.index()] = false;
             live_count[u.index()] -= 1;
             stats.removed_candidates += 1;
-            worklist.push((u, x));
+            wave.push((u, x));
             if live_count[u.index()] == 0 {
                 stats.failed_early = true;
                 return MatchOutcome {
@@ -159,35 +244,64 @@ pub fn bounded_simulation_with_oracle<O: DistanceOracle + ?Sized>(
         }
     }
 
-    // Index of pattern in-edges per pattern node, to propagate removals to
-    // candidate parents (lines 11-14 of Fig. 4).
-    let mut in_edge_indices: Vec<Vec<usize>> = vec![Vec::new(); np];
-    for (ei, e) in edges.iter().enumerate() {
-        in_edge_indices[e.to.index()].push(ei);
-    }
-
-    while let Some((u, y)) = worklist.pop() {
-        // y was removed from mat(u); decrement the counters of candidate
-        // parents x (over every pattern edge ending in u) that reach y.
-        for &ei in &in_edge_indices[u.index()] {
+    // Removal propagation in waves (lines 11-14 of Fig. 4). Per wave, the
+    // decrements implied by the removed nodes are computed in parallel
+    // against the wave-start membership (pure reads of `member` and the
+    // oracle), then applied in (edge, x) order.
+    while !wave.is_empty() {
+        let mut removed_per_u: Vec<Vec<NodeId>> = vec![Vec::new(); np];
+        for &(u, y) in &wave {
+            removed_per_u[u.index()].push(y);
+        }
+        // Pattern edges whose target lost candidates this wave.
+        let active: Vec<usize> = (0..ne)
+            .filter(|&ei| !removed_per_u[edges[ei].to.index()].is_empty())
+            .collect();
+        let deltas: Vec<Vec<(u32, u32)>> = exec.map_tasks(active.len() * n_chunks, nv, |ti| {
+            let e = &edges[active[ti / n_chunks]];
+            let ci = ti % n_chunks;
+            let parent = e.from.index();
+            let removed = &removed_per_u[e.to.index()];
+            let (start, end) = chunk_range(ci, chunk_len, nv);
+            let mut out: Vec<(u32, u32)> = Vec::new();
+            for (offset, &is_member) in member[parent][start..end].iter().enumerate() {
+                if !is_member {
+                    continue;
+                }
+                let x = start + offset;
+                let xv = NodeId::new(x as u32);
+                let mut d = 0u32;
+                for &y in removed {
+                    if oracle.within(graph, xv, y, e.bound) {
+                        d += 1;
+                    }
+                }
+                if d > 0 {
+                    out.push((x as u32, d));
+                }
+            }
+            out
+        });
+        let mut next: Vec<(PatternNodeId, NodeId)> = Vec::new();
+        for (ti, chunk_deltas) in deltas.into_iter().enumerate() {
+            let ei = active[ti / n_chunks];
             let e = &edges[ei];
             let parent = e.from.index();
-            for x in 0..nv {
+            for (x, d) in chunk_deltas {
+                let x = x as usize;
                 if !member[parent][x] {
+                    // Removed earlier in this merge pass (through another
+                    // edge); its counters no longer matter.
                     continue;
                 }
-                let xv = NodeId::new(x as u32);
-                if !oracle.within(graph, xv, y, e.bound) {
-                    continue;
-                }
-                stats.counter_decrements += 1;
-                debug_assert!(counters[ei][x] > 0, "witness counter underflow");
-                counters[ei][x] -= 1;
+                stats.counter_decrements += d as usize;
+                debug_assert!(counters[ei][x] >= d, "witness counter underflow");
+                counters[ei][x] -= d;
                 if counters[ei][x] == 0 {
                     member[parent][x] = false;
                     live_count[parent] -= 1;
                     stats.removed_candidates += 1;
-                    worklist.push((e.from, xv));
+                    next.push((e.from, NodeId::new(x as u32)));
                     if live_count[parent] == 0 {
                         stats.failed_early = true;
                         return MatchOutcome {
@@ -198,6 +312,7 @@ pub fn bounded_simulation_with_oracle<O: DistanceOracle + ?Sized>(
                 }
             }
         }
+        wave = next;
     }
 
     // Collect the surviving candidates (lines 16-18).
@@ -215,6 +330,18 @@ pub fn bounded_simulation_with_oracle<O: DistanceOracle + ?Sized>(
         relation: MatchRelation::from_sets(sets),
         stats,
     }
+}
+
+/// The data-node range of chunk `ci`, clamped to `[0, nv]` at both ends:
+/// with `chunk_len = ceil(nv / n_chunks)`, trailing chunks can start past
+/// `nv` and must degenerate to empty ranges (not out-of-bounds slices).
+/// Shared by the counter-initialisation and wave-delta tasks so the two
+/// phases can never disagree on chunk boundaries.
+#[inline]
+fn chunk_range(ci: usize, chunk_len: usize, nv: usize) -> (usize, usize) {
+    let start = (ci * chunk_len).min(nv);
+    let end = (start + chunk_len).min(nv);
+    (start, end)
 }
 
 #[cfg(test)]
@@ -483,6 +610,36 @@ mod tests {
         // essential, but some removals/decrements may have happened; just
         // check consistency.
         assert!(out.stats.removed_candidates <= out.stats.initial_candidates);
+    }
+
+    #[test]
+    fn chunk_tails_past_node_count_are_empty_not_panics() {
+        // Regression: with `chunk_len = ceil(nv / n_chunks)`, trailing chunk
+        // starts can exceed `nv` (e.g. nv = 101, 32 chunks of 4 ⇒ chunk 26
+        // starts at 104); they must degenerate to empty ranges. Build a
+        // 101-node graph with enough refinement work to reach the wave loop
+        // and force a high chunk count.
+        use gpm_exec::{Executor, Parallelism};
+        let mut g = DataGraph::new();
+        for i in 0..101u32 {
+            let label = if i % 2 == 0 { "A" } else { "B" };
+            g.add_node(Attributes::labeled(label));
+        }
+        for i in 0..100u32 {
+            g.add_edge(dn(i), dn(i + 1)).unwrap();
+        }
+        let mut p = PatternGraph::new();
+        let ua = p.add_node(Predicate::label("A"));
+        let ub = p.add_node(Predicate::label("B"));
+        p.add_edge(ua, ub, EdgeBound::ONE).unwrap();
+        p.add_edge(ub, ua, EdgeBound::ONE).unwrap();
+
+        let sequential = bounded_simulation(&p, &g);
+        for threads in [2usize, 8] {
+            let exec = Executor::new(Parallelism::new(threads).with_sequential_threshold(0));
+            let parallel = bounded_simulation_on(&p, &g, &exec);
+            assert_eq!(parallel, sequential, "diverged at {threads} threads");
+        }
     }
 
     #[test]

@@ -22,8 +22,9 @@
 
 use crate::matrix::DistanceMatrix;
 use crate::UNREACHABLE;
+use gpm_exec::Executor;
 use gpm_graph::{DataGraph, NodeId};
-use rustc_hash::FxHashSet;
+use rustc_hash::{FxHashMap, FxHashSet};
 
 /// A single edge update applied to a data graph.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
@@ -147,10 +148,28 @@ pub fn update_matrix(
     matrix: &mut DistanceMatrix,
     update: EdgeUpdate,
 ) -> AffectedPairs {
+    update_matrix_with(g, matrix, update, &Executor::from_env())
+}
+
+/// [`update_matrix`] on an explicit executor.
+///
+/// The affected area is partitioned across the workers: insertions scan the
+/// `ancestors(s) × descendants(t)` rectangle one source row per task (each
+/// row is read/written independently), deletions repair one affected sink
+/// column per task (columns are disjoint; the shared column of `s` is
+/// read-only during repair). Results are merged in source/sink order, so the
+/// outcome — including the order of `AFF1` — is identical at every thread
+/// count.
+pub fn update_matrix_with(
+    g: &DataGraph,
+    matrix: &mut DistanceMatrix,
+    update: EdgeUpdate,
+    exec: &Executor,
+) -> AffectedPairs {
     debug_assert_eq!(g.node_count(), matrix.node_count());
     match update {
-        EdgeUpdate::Insert(s, t) => apply_insertion(g, matrix, s, t),
-        EdgeUpdate::Delete(s, t) => apply_deletion(g, matrix, s, t),
+        EdgeUpdate::Insert(s, t) => apply_insertion(g, matrix, s, t, exec),
+        EdgeUpdate::Delete(s, t) => apply_deletion(g, matrix, s, t, exec),
     }
 }
 
@@ -164,6 +183,19 @@ pub fn update_matrix_batch(
     g: &DataGraph,
     matrix: &mut DistanceMatrix,
     updates: &[EdgeUpdate],
+) -> AffectedPairs {
+    update_matrix_batch_with(g, matrix, updates, &Executor::from_env())
+}
+
+/// [`update_matrix_batch`] on an explicit executor. The batch is replayed
+/// unit by unit (each update must see the matrix left by the previous one);
+/// within each unit update the affected area is partitioned across the
+/// workers as in [`update_matrix_with`].
+pub fn update_matrix_batch_with(
+    g: &DataGraph,
+    matrix: &mut DistanceMatrix,
+    updates: &[EdgeUpdate],
+    exec: &Executor,
 ) -> AffectedPairs {
     // Replay the batch on a scratch copy of the graph so each unit update
     // sees the right intermediate adjacency.
@@ -180,7 +212,7 @@ pub fn update_matrix_batch(
         if !u.apply(&mut scratch) {
             continue; // no-op update (duplicate insert / missing delete)
         }
-        let aff = update_matrix(&scratch, matrix, *u);
+        let aff = update_matrix_with(&scratch, matrix, *u, exec);
         combined.merge(aff);
     }
     combined
@@ -191,10 +223,10 @@ fn apply_insertion(
     matrix: &mut DistanceMatrix,
     s: NodeId,
     t: NodeId,
+    exec: &Executor,
 ) -> AffectedPairs {
     debug_assert!(g.has_edge(s, t), "graph must already contain the new edge");
     let n = g.node_count();
-    let mut affected = Vec::new();
 
     // Only pairs (x, y) with x an ancestor of s and y a descendant of t can
     // improve, and x only matters if its distance *to t itself* improves
@@ -208,16 +240,22 @@ fn apply_insertion(
         })
         .collect();
 
-    for xi in 0..n as u32 {
-        let x = NodeId::new(xi);
+    // Phase 1 (parallel, read-only): each source row of the affected
+    // rectangle is scanned independently — every value a row needs (its own
+    // `(x, s)` / `(x, t)` entries and the captured `sinks` of row `t`) is
+    // fixed before any write happens, so computing improvements first and
+    // writing them afterwards yields exactly the sequential result.
+    let per_source: Vec<Vec<AffectedPair>> = exec.par_map_index(n, |xi| {
+        let x = NodeId::new(xi as u32);
         let dx = if x == s { 0 } else { matrix.get(x, s) };
         if dx == UNREACHABLE {
-            continue;
+            return Vec::new();
         }
         let to_t = matrix.get(x, t);
         if u32::from(to_t) <= u32::from(dx) + 1 {
-            continue; // no improvement possible through the new edge
+            return Vec::new(); // no improvement possible through the new edge
         }
+        let mut improved = Vec::new();
         for &(y, dy) in &sinks {
             let via = u32::from(dx) + 1 + u32::from(dy);
             let via = if via >= u32::from(UNREACHABLE) {
@@ -227,14 +265,23 @@ fn apply_insertion(
             };
             let old = matrix.get(x, y);
             if via < old {
-                matrix.set(x, y, via);
-                affected.push(AffectedPair {
+                improved.push(AffectedPair {
                     source: x,
                     sink: y,
                     old,
                     new: via,
                 });
             }
+        }
+        improved
+    });
+
+    // Phase 2: apply the improvements in source order.
+    let mut affected = Vec::new();
+    for pairs in per_source {
+        for p in pairs {
+            matrix.set(p.source, p.sink, p.new);
+            affected.push(p);
         }
     }
     AffectedPairs { pairs: affected }
@@ -245,6 +292,7 @@ fn apply_deletion(
     matrix: &mut DistanceMatrix,
     s: NodeId,
     t: NodeId,
+    exec: &Executor,
 ) -> AffectedPairs {
     debug_assert!(
         !g.has_edge(s, t),
@@ -299,29 +347,115 @@ fn apply_deletion(
         })
         .collect();
 
-    for &y in &changed_sinks {
-        let from_t = old_from_t[y.index()];
-        if from_t == UNREACHABLE {
-            continue;
+    // Repair the affected sinks: each repair touches only its own matrix
+    // column (plus the read-only `sources_to_s` snapshot of the column of
+    // `s`), so the sinks partition the affected area across the workers.
+    // When the region actually runs parallel, every task computes its
+    // column's changes against the unmodified matrix (pending values in a
+    // local overlay) and the changes are applied in sink order afterwards;
+    // a single-worker region writes the matrix in place instead, skipping
+    // the overlay lookups. Both column stores run the identical repair
+    // algorithm, so the output — order included — is the same either way
+    // (the determinism suite pits the two paths against each other).
+    let repair_sinks: Vec<(NodeId, u16)> = changed_sinks
+        .iter()
+        .filter_map(|&y| {
+            let from_t = old_from_t[y.index()];
+            (from_t != UNREACHABLE).then_some((y, from_t))
+        })
+        .collect();
+    if repair_sinks.len() <= 1 || !exec.parallelism().should_parallelise(n) {
+        for &(y, from_t) in &repair_sinks {
+            let mut column = DirectColumn { matrix, y };
+            compute_sink_repair(g, &mut column, y, from_t, &sources_to_s, &mut affected);
         }
-        repair_sink_after_deletion(g, matrix, y, from_t, &sources_to_s, &mut affected);
+        return AffectedPairs { pairs: affected };
+    }
+    let snapshot: &DistanceMatrix = matrix;
+    let per_sink: Vec<Vec<AffectedPair>> = exec.map_tasks(repair_sinks.len(), n, |i| {
+        let (y, from_t) = repair_sinks[i];
+        let mut column = SnapshotColumn {
+            matrix: snapshot,
+            y,
+            settled: FxHashMap::default(),
+        };
+        let mut changes = Vec::new();
+        compute_sink_repair(g, &mut column, y, from_t, &sources_to_s, &mut changes);
+        changes
+    });
+    for changes in per_sink {
+        for p in changes {
+            matrix.set(p.source, p.sink, p.new);
+            affected.push(p);
+        }
     }
     AffectedPairs { pairs: affected }
 }
 
-/// Repairs the column of sink `y` after the deletion of `(s, t)`.
+/// One matrix column as seen by a sink repair (see [`compute_sink_repair`]).
+trait ColumnStore {
+    /// The current distance from `w` to the repair's sink.
+    fn get(&self, w: NodeId) -> u16;
+    /// Records the repaired distance from `x` to the sink.
+    fn set(&mut self, x: NodeId, value: u16);
+}
+
+/// In-place column access: reads and writes go straight to the matrix
+/// (single-worker repairs, no overlay overhead).
+struct DirectColumn<'a> {
+    matrix: &'a mut DistanceMatrix,
+    y: NodeId,
+}
+
+impl ColumnStore for DirectColumn<'_> {
+    #[inline]
+    fn get(&self, w: NodeId) -> u16 {
+        self.matrix.get(w, self.y)
+    }
+    #[inline]
+    fn set(&mut self, x: NodeId, value: u16) {
+        self.matrix.set(x, self.y, value);
+    }
+}
+
+/// Read-only column access with a local overlay of the values this repair
+/// has settled, so independent sinks can be repaired concurrently against
+/// the same matrix snapshot.
+struct SnapshotColumn<'a> {
+    matrix: &'a DistanceMatrix,
+    y: NodeId,
+    settled: FxHashMap<NodeId, u16>,
+}
+
+impl ColumnStore for SnapshotColumn<'_> {
+    #[inline]
+    fn get(&self, w: NodeId) -> u16 {
+        self.settled
+            .get(&w)
+            .copied()
+            .unwrap_or_else(|| self.matrix.get(w, self.y))
+    }
+    #[inline]
+    fn set(&mut self, x: NodeId, value: u16) {
+        self.settled.insert(x, value);
+    }
+}
+
+/// Repairs the column of sink `y` after the deletion of `(s, t)`, reading
+/// and writing the column through a [`ColumnStore`] and appending every
+/// change to `changes`.
 ///
 /// `sources_to_s` holds every node with a finite standard distance to `s`
 /// (the only possible affected sources); `from_t` is the old standard
 /// distance from `t` to `y`. Non-candidate nodes keep provably correct
 /// values and act as the fixed boundary of a Dijkstra-like repair.
-fn repair_sink_after_deletion(
+fn compute_sink_repair<C: ColumnStore>(
     g: &DataGraph,
-    matrix: &mut DistanceMatrix,
+    column: &mut C,
     y: NodeId,
     from_t: u16,
     sources_to_s: &[(NodeId, u16)],
-    affected: &mut Vec<AffectedPair>,
+    changes: &mut Vec<AffectedPair>,
 ) {
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
@@ -329,7 +463,7 @@ fn repair_sink_after_deletion(
     // Affected-source candidates for this sink: old(x, y) = to_s + 1 + from_t.
     let mut candidates: Vec<NodeId> = Vec::new();
     for &(x, to_s) in sources_to_s {
-        let old = matrix.get(x, y);
+        let old = column.get(x);
         if old != UNREACHABLE && u32::from(old) == u32::from(to_s) + 1 + u32::from(from_t) {
             candidates.push(x);
         }
@@ -344,7 +478,7 @@ fn repair_sink_after_deletion(
     // Standard distance from `w` to `y` using only provably-correct values
     // (boundary nodes and already-finalized candidates).
     let std_to_y = |w: NodeId,
-                    matrix: &DistanceMatrix,
+                    column: &C,
                     in_repair: &FxHashSet<NodeId>,
                     finalized: &FxHashSet<NodeId>|
      -> Option<u32> {
@@ -354,7 +488,7 @@ fn repair_sink_after_deletion(
         if in_repair.contains(&w) && !finalized.contains(&w) {
             return None;
         }
-        match matrix.get(w, y) {
+        match column.get(w) {
             UNREACHABLE => None,
             d => Some(u32::from(d)),
         }
@@ -364,7 +498,7 @@ fn repair_sink_after_deletion(
     for &x in &candidates {
         let mut best = None;
         for &w in g.out_neighbors(x) {
-            if let Some(d) = std_to_y(w, matrix, &in_repair, &finalized) {
+            if let Some(d) = std_to_y(w, column, &in_repair, &finalized) {
                 let via = d + 1;
                 if best.map_or(true, |b| via < b) {
                     best = Some(via);
@@ -383,7 +517,7 @@ fn repair_sink_after_deletion(
         // Lazy-deletion Dijkstra: verify the entry is still the best known.
         let mut best = None;
         for &w in g.out_neighbors(x) {
-            if let Some(d) = std_to_y(w, matrix, &in_repair, &finalized) {
+            if let Some(d) = std_to_y(w, column, &in_repair, &finalized) {
                 let via = d + 1;
                 if best.map_or(true, |b| via < b) {
                     best = Some(via);
@@ -401,10 +535,10 @@ fn repair_sink_after_deletion(
         } else {
             best as u16
         };
-        let old = matrix.get(x, y);
+        let old = column.get(x);
         if new != old {
-            matrix.set(x, y, new);
-            affected.push(AffectedPair {
+            column.set(x, new);
+            changes.push(AffectedPair {
                 source: x,
                 sink: y,
                 old,
@@ -422,10 +556,10 @@ fn repair_sink_after_deletion(
     // Candidates never finalized are no longer able to reach y at all.
     in_repair.retain(|x| !finalized.contains(x));
     for x in in_repair {
-        let old = matrix.get(x, y);
+        let old = column.get(x);
         if old != UNREACHABLE {
-            matrix.set(x, y, UNREACHABLE);
-            affected.push(AffectedPair {
+            column.set(x, UNREACHABLE);
+            changes.push(AffectedPair {
                 source: x,
                 sink: y,
                 old,

@@ -43,6 +43,13 @@
 //! (`out_neighbors`/`in_neighbors`), so every BFS expansion scans contiguous
 //! memory.
 //!
+//! The construction and maintenance procedures run on the shared `gpm-exec`
+//! executor: [`DistanceMatrix::build_with`] fans one BFS source chunk per
+//! task, [`update_matrix_with`] partitions the affected area (source rows
+//! for insertions, sink columns for deletions) across the workers with a
+//! deterministic merge, and the `*_with`-less entry points default to the
+//! process-wide [`gpm_exec::Parallelism::from_env`] policy.
+//!
 //! ## Example
 //!
 //! ```
@@ -67,7 +74,10 @@ pub mod oracle;
 pub mod two_hop;
 
 pub use bfs_oracle::BfsOracle;
-pub use incremental::{update_matrix, update_matrix_batch, AffectedPairs, EdgeUpdate};
+pub use incremental::{
+    update_matrix, update_matrix_batch, update_matrix_batch_with, update_matrix_with,
+    AffectedPairs, EdgeUpdate,
+};
 pub use matrix::DistanceMatrix;
 pub use oracle::DistanceOracle;
 pub use two_hop::{TwoHopIndex, TwoHopOracle};

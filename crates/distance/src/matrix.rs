@@ -11,6 +11,7 @@
 //! procedures (`UpdateM` / `UpdateBM`) do.
 
 use crate::UNREACHABLE;
+use gpm_exec::{Executor, Parallelism};
 use gpm_graph::{DataGraph, NodeId};
 use std::collections::VecDeque;
 
@@ -31,39 +32,42 @@ impl DistanceMatrix {
     /// non-empty distances directly — including the shortest cycle length on
     /// the diagonal.
     pub fn build(g: &DataGraph) -> Self {
-        let n = g.node_count();
-        let mut dist = vec![UNREACHABLE; n * n];
-        let mut queue = VecDeque::new();
-        for x in g.nodes() {
-            let row = &mut dist[x.index() * n..(x.index() + 1) * n];
-            Self::bfs_row(g, x, row, &mut queue);
-        }
-        DistanceMatrix { n, dist }
+        Self::build_with(g, &Executor::sequential())
     }
 
-    /// Builds the matrix using `threads` worker threads (rows are distributed
-    /// in contiguous chunks). Falls back to the sequential build when
-    /// `threads <= 1` or the graph is small.
-    pub fn build_parallel(g: &DataGraph, threads: usize) -> Self {
+    /// Builds the matrix on the shared executor: BFS sources are dealt to
+    /// the workers in row chunks small enough for work stealing to balance
+    /// the skewed per-source costs of hub-heavy graphs. Falls back to the
+    /// sequential build when the executor is single-threaded or the graph is
+    /// below the policy's sequential threshold.
+    pub fn build_with(g: &DataGraph, exec: &Executor) -> Self {
         let n = g.node_count();
-        if threads <= 1 || n < 256 {
-            return Self::build(g);
-        }
         let mut dist = vec![UNREACHABLE; n * n];
-        let chunk_rows = n.div_ceil(threads);
-        std::thread::scope(|scope| {
-            for (chunk_idx, chunk) in dist.chunks_mut(chunk_rows * n).enumerate() {
-                let first_row = chunk_idx * chunk_rows;
-                scope.spawn(move || {
-                    let mut queue = VecDeque::new();
-                    for (i, row) in chunk.chunks_mut(n).enumerate() {
-                        let x = NodeId::new((first_row + i) as u32);
-                        Self::bfs_row(g, x, row, &mut queue);
-                    }
-                });
+        if !exec.parallelism().should_parallelise(n) {
+            let mut queue = VecDeque::new();
+            for x in g.nodes() {
+                let row = &mut dist[x.index() * n..(x.index() + 1) * n];
+                Self::bfs_row(g, x, row, &mut queue);
+            }
+            return DistanceMatrix { n, dist };
+        }
+        // Rows per task: a few tasks per worker so stealing has slack.
+        let rows_per_task = n.div_ceil(exec.threads() * 4).max(1);
+        exec.par_chunks_mut(&mut dist, rows_per_task * n, |chunk_idx, chunk| {
+            let mut queue = VecDeque::new();
+            for (i, row) in chunk.chunks_mut(n).enumerate() {
+                let x = NodeId::new((chunk_idx * rows_per_task + i) as u32);
+                Self::bfs_row(g, x, row, &mut queue);
             }
         });
         DistanceMatrix { n, dist }
+    }
+
+    /// Builds the matrix using `threads` worker threads. Convenience wrapper
+    /// over [`DistanceMatrix::build_with`] with a default [`Parallelism`]
+    /// policy at that thread count.
+    pub fn build_parallel(g: &DataGraph, threads: usize) -> Self {
+        Self::build_with(g, &Executor::new(Parallelism::new(threads)))
     }
 
     /// Recomputes the row of source `x` against (an updated) `g`, in place.

@@ -14,6 +14,7 @@
 
 use crate::oracle::DistanceOracle;
 use crate::UNREACHABLE;
+use gpm_exec::Executor;
 use gpm_graph::{DataGraph, NodeId};
 use std::collections::VecDeque;
 
@@ -43,6 +44,17 @@ impl TwoHopIndex {
     /// Landmarks are processed in descending total-degree order, which keeps
     /// label sizes small on the skewed-degree graphs of the evaluation.
     pub fn build(g: &DataGraph) -> Self {
+        Self::build_with(g, &Executor::from_env())
+    }
+
+    /// Builds the labeling on the shared executor.
+    ///
+    /// The landmark loop itself is inherently sequential — the pruned BFS of
+    /// each hub prunes against the labels of every *higher-ranked* hub, and
+    /// that ordering is exactly what keeps label sizes small — so only the
+    /// per-node diagonal pass (shortest cycle through each node, pure label
+    /// queries) is fanned out across the workers.
+    pub fn build_with(g: &DataGraph, exec: &Executor) -> Self {
         let n = g.node_count();
         let mut order: Vec<NodeId> = g.nodes().collect();
         order.sort_by_key(|&v| (std::cmp::Reverse(g.total_degree(v)), v));
@@ -91,21 +103,26 @@ impl TwoHopIndex {
             diagonal: vec![UNREACHABLE; n],
         };
         // Non-empty diagonal: the shortest cycle through v is
-        // 1 + min over out-neighbours s of dist(s, v).
-        for v in g.nodes() {
-            let mut best = UNREACHABLE;
-            for &s in g.out_neighbors(v) {
-                let d = if s == v {
-                    0 // self-loop: cycle of length 1
-                } else {
-                    index.standard_distance_raw(s, v)
-                };
-                if d != UNREACHABLE {
-                    best = best.min(d.saturating_add(1));
+        // 1 + min over out-neighbours s of dist(s, v). Label queries only —
+        // one independent task chunk per node range.
+        index.diagonal = {
+            let idx = &index;
+            exec.par_map_index(n, |vi| {
+                let v = NodeId::new(vi as u32);
+                let mut best = UNREACHABLE;
+                for &s in g.out_neighbors(v) {
+                    let d = if s == v {
+                        0 // self-loop: cycle of length 1
+                    } else {
+                        idx.standard_distance_raw(s, v)
+                    };
+                    if d != UNREACHABLE {
+                        best = best.min(d.saturating_add(1));
+                    }
                 }
-            }
-            index.diagonal[v.index()] = best;
-        }
+                best
+            })
+        };
         index
     }
 
@@ -249,6 +266,14 @@ impl TwoHopOracle {
     pub fn build(g: &DataGraph) -> Self {
         TwoHopOracle {
             index: TwoHopIndex::build(g),
+            bfs: crate::bfs_oracle::BfsOracle::new(),
+        }
+    }
+
+    /// Builds the labeling on the shared executor and wraps it as an oracle.
+    pub fn build_with(g: &DataGraph, exec: &Executor) -> Self {
+        TwoHopOracle {
+            index: TwoHopIndex::build_with(g, exec),
             bfs: crate::bfs_oracle::BfsOracle::new(),
         }
     }

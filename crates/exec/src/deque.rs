@@ -1,0 +1,104 @@
+//! The work-stealing deque the executor's workers schedule from.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A work-stealing deque following the Chase–Lev access discipline: the
+/// owning worker pushes and pops at the **bottom** (LIFO, keeping its own
+/// recently-produced work hot in cache), while idle workers steal from the
+/// **top** (FIFO, taking the oldest — typically largest — pending task).
+///
+/// The original Chase–Lev structure ("Dynamic circular work-stealing
+/// deque", SPAA '05) achieves this lock-free with a circular buffer and
+/// atomics, which requires `unsafe` memory management; this workspace
+/// forbids `unsafe`, so the same discipline is synchronised with a `std`
+/// mutex around a ring buffer instead. Tasks in this codebase are
+/// coarse-grained (a BFS source chunk, a pattern-node refinement slice), so
+/// the lock is uncontended in practice — the discipline, not the atomics,
+/// is what provides the load balancing.
+#[derive(Debug, Default)]
+pub struct StealDeque<T> {
+    inner: Mutex<VecDeque<T>>,
+}
+
+impl<T> StealDeque<T> {
+    /// Creates an empty deque.
+    pub fn new() -> Self {
+        StealDeque {
+            inner: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Owner operation: pushes a task at the bottom.
+    pub fn push_bottom(&self, task: T) {
+        self.inner.lock().unwrap().push_back(task);
+    }
+
+    /// Owner operation: pops the most recently pushed task (bottom, LIFO).
+    pub fn pop_bottom(&self) -> Option<T> {
+        self.inner.lock().unwrap().pop_back()
+    }
+
+    /// Thief operation: steals the oldest task (top, FIFO).
+    pub fn steal_top(&self) -> Option<T> {
+        self.inner.lock().unwrap().pop_front()
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    /// Whether no task is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_is_lifo_thief_is_fifo() {
+        let d = StealDeque::new();
+        d.push_bottom(1);
+        d.push_bottom(2);
+        d.push_bottom(3);
+        assert_eq!(d.len(), 3);
+        // Owner sees the newest task first...
+        assert_eq!(d.pop_bottom(), Some(3));
+        // ...a thief takes the oldest.
+        assert_eq!(d.steal_top(), Some(1));
+        assert_eq!(d.pop_bottom(), Some(2));
+        assert_eq!(d.pop_bottom(), None);
+        assert_eq!(d.steal_top(), None);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn concurrent_stealing_loses_no_task() {
+        let deque = StealDeque::new();
+        for i in 0..10_000u64 {
+            deque.push_bottom(i);
+        }
+        let total: u64 = std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for _ in 0..4 {
+                handles.push(s.spawn(|| {
+                    let mut sum = 0u64;
+                    while let Some(v) = deque.steal_top() {
+                        sum += v;
+                    }
+                    sum
+                }));
+            }
+            let mut own = 0u64;
+            while let Some(v) = deque.pop_bottom() {
+                own += v;
+            }
+            own + handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        });
+        assert_eq!(total, 10_000 * 9_999 / 2);
+    }
+}

@@ -1,0 +1,518 @@
+//! The [`Executor`]: scoped fork-join regions scheduled over work-stealing
+//! deques.
+
+use crate::deque::StealDeque;
+use crate::parallelism::Parallelism;
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// A task queued in a parallel region: borrowed-data fork-join closures.
+type Task<'env> = Box<dyn FnOnce() + Send + 'env>;
+
+/// How many tasks each worker thread is dealt (on average) by the chunked
+/// combinators. More tasks than workers is what gives stealing room to
+/// balance skewed per-item costs; 4 is plenty for the coarse-grained work in
+/// this codebase.
+const TASKS_PER_WORKER: usize = 4;
+
+/// A scoped fork-join executor over a [`Parallelism`] policy.
+///
+/// The executor is a cheap value type (a policy, not a thread pool): worker
+/// threads are `std::thread::scope`d to each parallel region, so tasks can
+/// borrow from the caller's stack and every region joins before returning.
+/// See the [crate docs](crate) for the design rationale.
+#[derive(Clone, Debug, Default)]
+pub struct Executor {
+    cfg: Parallelism,
+}
+
+impl Executor {
+    /// Creates an executor with the given policy.
+    pub fn new(cfg: Parallelism) -> Self {
+        Executor { cfg }
+    }
+
+    /// An executor that runs everything inline on the caller thread.
+    pub fn sequential() -> Self {
+        Executor::new(Parallelism::sequential())
+    }
+
+    /// An executor with the process-default policy
+    /// ([`Parallelism::from_env`]).
+    pub fn from_env() -> Self {
+        Executor::new(Parallelism::from_env())
+    }
+
+    /// The policy this executor schedules with.
+    pub fn parallelism(&self) -> &Parallelism {
+        &self.cfg
+    }
+
+    /// Number of worker threads (including the caller), `>= 1`.
+    pub fn threads(&self) -> usize {
+        self.cfg.threads()
+    }
+
+    /// Runs a fork-join region: `f` spawns any number of tasks on the
+    /// [`Scope`]; all of them have completed when `scope` returns.
+    ///
+    /// Tasks may borrow data living outside the call. A panicking task
+    /// panics the region: remaining unstarted tasks may be skipped and the
+    /// first panic payload is re-raised on the caller thread.
+    pub fn scope<'env, F>(&self, f: F)
+    where
+        F: FnOnce(&mut Scope<'env>),
+    {
+        let mut scope = Scope { tasks: Vec::new() };
+        f(&mut scope);
+        self.run_tasks(scope.tasks);
+    }
+
+    /// Runs `n` index-addressed tasks and returns their results **in index
+    /// order** (the deterministic merge every ported hot path relies on).
+    ///
+    /// `work_hint` is the region's item count for the sequential-fallback
+    /// decision (often, but not necessarily, `n` — the matcher passes the
+    /// data-graph size when `n` is a small pattern dimension). Below the
+    /// threshold the same tasks run inline in index order, so results are
+    /// identical either way.
+    pub fn map_tasks<R, F>(&self, n: usize, work_hint: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        if n <= 1 || !self.cfg.should_parallelise(work_hint) {
+            return (0..n).map(f).collect();
+        }
+        let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        self.scope(|s| {
+            let f = &f;
+            for (i, slot) in slots.iter().enumerate() {
+                s.spawn(move || {
+                    let value = f(i);
+                    *slot.lock().unwrap() = Some(value);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap()
+                    .expect("scope joined every task, so every slot is filled")
+            })
+            .collect()
+    }
+
+    /// Runs `f` for every index in `0..n`, splitting the range into chunks
+    /// scheduled across the workers. `f` must tolerate any execution order.
+    pub fn par_for_each_index<F>(&self, n: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if !self.cfg.should_parallelise(n) {
+            for i in 0..n {
+                f(i);
+            }
+            return;
+        }
+        let chunk = chunk_len(n, self.threads());
+        self.scope(|s| {
+            let f = &f;
+            let mut start = 0;
+            while start < n {
+                let end = (start + chunk).min(n);
+                s.spawn(move || {
+                    for i in start..end {
+                        f(i);
+                    }
+                });
+                start = end;
+            }
+        });
+    }
+
+    /// Maps every index in `0..n`, returning the results in index order.
+    /// Chunked like [`Executor::par_for_each_index`]; deterministic like
+    /// [`Executor::map_tasks`].
+    pub fn par_map_index<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        if !self.cfg.should_parallelise(n) {
+            return (0..n).map(f).collect();
+        }
+        let chunk = chunk_len(n, self.threads());
+        let n_chunks = n.div_ceil(chunk);
+        let mut per_chunk = self.map_tasks(n_chunks, n, |c| {
+            let start = c * chunk;
+            let end = ((c + 1) * chunk).min(n);
+            (start..end).map(&f).collect::<Vec<R>>()
+        });
+        let mut out = Vec::with_capacity(n);
+        for vals in per_chunk.drain(..) {
+            out.extend(vals);
+        }
+        out
+    }
+
+    /// Maps a slice, returning results in element order.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.par_map_index(items.len(), |i| f(&items[i]))
+    }
+
+    /// Runs `f` for every element of a slice (any execution order).
+    pub fn par_for_each<T, F>(&self, items: &[T], f: F)
+    where
+        T: Sync,
+        F: Fn(usize, &T) + Sync,
+    {
+        self.par_for_each_index(items.len(), |i| f(i, &items[i]));
+    }
+
+    /// Splits `data` into consecutive chunks of (at most) `chunk_len`
+    /// elements and runs `f(chunk_index, chunk)` for each, in parallel.
+    /// Chunks are disjoint `&mut` slices, so no synchronisation is needed
+    /// inside `f`.
+    ///
+    /// # Panics
+    /// Panics if `chunk_len` is zero.
+    pub fn par_chunks_mut<T, F>(&self, data: &mut [T], chunk_len: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        assert!(chunk_len > 0, "chunk_len must be positive");
+        if data.len() <= chunk_len || !self.cfg.should_parallelise(data.len()) {
+            for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+                f(i, chunk);
+            }
+            return;
+        }
+        self.scope(|s| {
+            let f = &f;
+            for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+                s.spawn(move || f(i, chunk));
+            }
+        });
+    }
+
+    /// Parallel reduction: maps every index in `0..n` and folds the results
+    /// with `fold`, starting from `identity()`.
+    ///
+    /// In deterministic mode ([`Parallelism::deterministic`], the default)
+    /// partial results are folded in index order; otherwise they are folded
+    /// in completion order, which is only observably different when `fold`
+    /// is not commutative/associative.
+    pub fn par_reduce<R, I, F, G>(&self, n: usize, identity: I, map: F, fold: G) -> R
+    where
+        R: Send,
+        I: Fn() -> R,
+        F: Fn(usize) -> R + Sync,
+        G: Fn(R, R) -> R + Sync,
+    {
+        if !self.cfg.should_parallelise(n) {
+            return (0..n).map(&map).fold(identity(), &fold);
+        }
+        let chunk = chunk_len(n, self.threads());
+        let n_chunks = n.div_ceil(chunk);
+        let partials: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n_chunks));
+        self.scope(|s| {
+            let map = &map;
+            let fold = &fold;
+            let partials = &partials;
+            for c in 0..n_chunks {
+                s.spawn(move || {
+                    let start = c * chunk;
+                    let end = ((c + 1) * chunk).min(n);
+                    let mut acc: Option<R> = None;
+                    for i in start..end {
+                        let v = map(i);
+                        acc = Some(match acc {
+                            None => v,
+                            Some(a) => fold(a, v),
+                        });
+                    }
+                    if let Some(a) = acc {
+                        partials.lock().unwrap().push((c, a));
+                    }
+                });
+            }
+        });
+        let mut partials = partials.into_inner().unwrap();
+        if self.cfg.deterministic() {
+            partials.sort_unstable_by_key(|&(c, _)| c);
+        }
+        partials.into_iter().map(|(_, r)| r).fold(identity(), fold)
+    }
+
+    /// Executes a collected task list: inline when the region is degenerate
+    /// (`<= 1` task or a single worker), otherwise over scoped workers with
+    /// round-robin dealing and work stealing.
+    fn run_tasks<'env>(&self, tasks: Vec<Task<'env>>) {
+        let n = tasks.len();
+        let workers = self.cfg.threads().min(n);
+        if workers <= 1 {
+            for task in tasks {
+                task();
+            }
+            return;
+        }
+        let deques: Vec<StealDeque<Task<'env>>> = (0..workers).map(|_| StealDeque::new()).collect();
+        for (i, task) in tasks.into_iter().enumerate() {
+            deques[i % workers].push_bottom(task);
+        }
+        let panicked = AtomicBool::new(false);
+        let payload: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
+        std::thread::scope(|s| {
+            for w in 1..workers {
+                let deques = &deques;
+                let panicked = &panicked;
+                let payload = &payload;
+                s.spawn(move || worker_loop(w, deques, panicked, payload));
+            }
+            worker_loop(0, &deques, &panicked, &payload);
+        });
+        if panicked.load(Ordering::Relaxed) {
+            let p = payload
+                .into_inner()
+                .unwrap()
+                .expect("panicked flag implies a stored payload");
+            resume_unwind(p);
+        }
+    }
+}
+
+/// Collects the tasks of one fork-join region (see [`Executor::scope`]).
+pub struct Scope<'env> {
+    tasks: Vec<Task<'env>>,
+}
+
+impl<'env> Scope<'env> {
+    /// Queues a task; it runs when the surrounding [`Executor::scope`] call
+    /// executes the region.
+    pub fn spawn<F>(&mut self, f: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        self.tasks.push(Box::new(f));
+    }
+
+    /// Number of tasks queued so far.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether no task has been queued yet.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+}
+
+/// One worker: drain the own deque bottom-first, then steal from the others
+/// top-first; stop when every deque is empty or the region has panicked.
+fn worker_loop<'env>(
+    me: usize,
+    deques: &[StealDeque<Task<'env>>],
+    panicked: &AtomicBool,
+    payload: &Mutex<Option<Box<dyn Any + Send>>>,
+) {
+    loop {
+        if panicked.load(Ordering::Relaxed) {
+            return;
+        }
+        let task = deques[me].pop_bottom().or_else(|| {
+            (1..deques.len()).find_map(|k| deques[(me + k) % deques.len()].steal_top())
+        });
+        let Some(task) = task else { return };
+        if let Err(p) = catch_unwind(AssertUnwindSafe(task)) {
+            let mut slot = payload.lock().unwrap();
+            if slot.is_none() {
+                *slot = Some(p);
+            }
+            panicked.store(true, Ordering::Relaxed);
+            return;
+        }
+    }
+}
+
+/// Chunk length that deals roughly [`TASKS_PER_WORKER`] tasks per worker.
+fn chunk_len(n: usize, workers: usize) -> usize {
+    n.div_ceil(workers.max(1) * TASKS_PER_WORKER).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn forced(threads: usize) -> Executor {
+        // Threshold 0: even tiny regions exercise the threaded machinery.
+        Executor::new(Parallelism::new(threads).with_sequential_threshold(0))
+    }
+
+    #[test]
+    fn zero_and_single_task_regions() {
+        for exec in [Executor::sequential(), forced(4)] {
+            exec.scope(|_| {}); // empty region is a no-op
+            assert!(exec.par_map_index(0, |i| i).is_empty());
+            assert_eq!(exec.map_tasks(0, usize::MAX, |i| i), Vec::<usize>::new());
+            assert_eq!(exec.par_map_index(1, |i| i + 7), vec![7]);
+            exec.par_chunks_mut(&mut [] as &mut [u8], 3, |_, _| unreachable!());
+        }
+    }
+
+    #[test]
+    fn threads_1_is_a_passthrough() {
+        let exec = Executor::new(Parallelism::new(1).with_sequential_threshold(0));
+        // Inline execution happens in task order on the caller thread.
+        let caller = std::thread::current().id();
+        let order = Mutex::new(Vec::new());
+        exec.scope(|s| {
+            for i in 0..5 {
+                let order = &order;
+                s.spawn(move || {
+                    assert_eq!(std::thread::current().id(), caller);
+                    order.lock().unwrap().push(i);
+                });
+            }
+        });
+        assert_eq!(order.into_inner().unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn map_results_are_in_index_order() {
+        let exec = forced(4);
+        let expected: Vec<usize> = (0..1000).map(|i| i * 3).collect();
+        assert_eq!(exec.par_map_index(1000, |i| i * 3), expected);
+        assert_eq!(exec.map_tasks(100, usize::MAX, |i| i * 3), expected[..100]);
+        let items: Vec<usize> = (0..500).collect();
+        assert_eq!(exec.par_map(&items, |&v| v * 3), expected[..500]);
+    }
+
+    #[test]
+    fn for_each_visits_every_index_once() {
+        let exec = forced(3);
+        let counts: Vec<AtomicUsize> = (0..777).map(|_| AtomicUsize::new(0)).collect();
+        exec.par_for_each_index(777, |i| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+        let items = vec![2u64; 40];
+        let sum = AtomicUsize::new(0);
+        exec.par_for_each(&items, |_, &v| {
+            sum.fetch_add(v as usize, Ordering::Relaxed);
+        });
+        assert_eq!(sum.into_inner(), 80);
+    }
+
+    #[test]
+    fn chunks_mut_partitions_exactly() {
+        let exec = forced(4);
+        let mut data = vec![0u32; 103];
+        exec.par_chunks_mut(&mut data, 10, |ci, chunk| {
+            for (j, v) in chunk.iter_mut().enumerate() {
+                *v = (ci * 10 + j) as u32;
+            }
+        });
+        let expected: Vec<u32> = (0..103).collect();
+        assert_eq!(data, expected);
+    }
+
+    #[test]
+    fn reduce_deterministic_and_not() {
+        let exec = forced(4);
+        let sum = exec.par_reduce(1000, || 0u64, |i| i as u64, |a, b| a + b);
+        assert_eq!(sum, 499_500);
+        // Non-deterministic mode still produces the right answer for a
+        // commutative fold.
+        let loose = Executor::new(
+            Parallelism::new(4)
+                .with_sequential_threshold(0)
+                .with_deterministic(false),
+        );
+        assert_eq!(
+            loose.par_reduce(1000, || 0u64, |i| i as u64, |a, b| a + b),
+            499_500
+        );
+        // Deterministic mode folds partials in index order even for a
+        // non-commutative fold (string concatenation).
+        let cat = exec.par_reduce(
+            26,
+            String::new,
+            |i| char::from(b'a' + i as u8).to_string(),
+            |a, b| a + &b,
+        );
+        assert_eq!(cat, "abcdefghijklmnopqrstuvwxyz");
+    }
+
+    #[test]
+    fn scope_panics_propagate() {
+        let exec = forced(4);
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            exec.scope(|s| {
+                for i in 0..64 {
+                    s.spawn(move || {
+                        if i == 13 {
+                            panic!("boom {i}");
+                        }
+                    });
+                }
+            });
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().map(String::as_str);
+        assert_eq!(msg, Some("boom 13"));
+        // And inline regions propagate identically.
+        let seq = Executor::sequential();
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            seq.scope(|s| s.spawn(|| panic!("inline boom")));
+        }))
+        .unwrap_err();
+        assert_eq!(err.downcast_ref::<&str>(), Some(&"inline boom"));
+    }
+
+    #[test]
+    fn borrowed_data_mutation_through_scope() {
+        let exec = forced(2);
+        let mut out = vec![0usize; 8];
+        {
+            let slots: Vec<_> = out.chunks_mut(1).collect();
+            exec.scope(|s| {
+                for (i, slot) in slots.into_iter().enumerate() {
+                    s.spawn(move || slot[0] = i * i);
+                }
+            });
+        }
+        assert_eq!(out, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+    }
+
+    #[test]
+    fn scope_len_accessors() {
+        let exec = Executor::sequential();
+        exec.scope(|s| {
+            assert!(s.is_empty());
+            s.spawn(|| {});
+            assert_eq!(s.len(), 1);
+            assert!(!s.is_empty());
+        });
+    }
+
+    #[test]
+    fn work_hint_gates_map_tasks() {
+        // With a high threshold and a small hint, map_tasks runs inline even
+        // for many tasks — observable through the thread id.
+        let exec = Executor::new(Parallelism::new(4).with_sequential_threshold(1_000_000));
+        let caller = std::thread::current().id();
+        let ids = exec.map_tasks(32, 10, |_| std::thread::current().id());
+        assert!(ids.iter().all(|&id| id == caller));
+    }
+}

@@ -1,0 +1,71 @@
+//! # gpm-exec
+//!
+//! A small work-stealing parallel runtime for the gpm workspace: scoped
+//! fork-join execution over borrowed data, with a [`Parallelism`] policy
+//! shared by every hot path (the `Match` candidate refinement in `gpm-core`,
+//! the BFS-per-source matrix build in `gpm-distance`, candidate computation
+//! in `gpm-iso` and batch-update repair in `gpm-incremental`).
+//!
+//! ## Design
+//!
+//! * **Scoped fork-join.** A parallel region collects its tasks and runs
+//!   them to completion before returning ([`Executor::scope`]); tasks may
+//!   borrow from the caller's stack (no `'static` bound, no `Arc` plumbing).
+//!   Worker threads live for the duration of one region — the executor is a
+//!   cheap, copyable *policy* handle, not a long-lived thread pool, which
+//!   keeps the whole crate free of `unsafe` lifetime laundering.
+//! * **Work stealing.** Each worker owns a [`StealDeque`]; tasks are dealt
+//!   round-robin, owners pop LIFO from the bottom, idle workers steal FIFO
+//!   from the top (the Chase–Lev discipline, synchronised with a `std` mutex
+//!   rather than the original lock-free atomics — see [`StealDeque`]). This
+//!   balances the skewed task costs typical of per-source BFS and per-node
+//!   refinement without any tuning.
+//! * **Deterministic merges.** The mapping combinators
+//!   ([`Executor::par_map_index`], [`Executor::map_tasks`]) always deliver
+//!   results in task-index order, whatever interleaving the workers produce,
+//!   so parallel `Match` is bit-identical to sequential `Match`. The
+//!   [`Parallelism::deterministic`] flag only relaxes *reduction* order
+//!   ([`Executor::par_reduce`]) for callers that fold commutative monoids.
+//! * **Sequential fallback.** Regions whose work hint falls below
+//!   [`Parallelism::sequential_threshold`] (or when `threads <= 1`) run
+//!   inline on the caller thread, in task order — the passthrough executes
+//!   the same code as the parallel path, so results cannot diverge.
+//!
+//! The default thread count honours the `GPM_THREADS` environment variable
+//! (see [`Parallelism::from_env`]), which is how CI exercises the parallel
+//! paths and how `gpm-bench --threads` sweeps 1→8 cores.
+//!
+//! ## Example
+//!
+//! ```
+//! use gpm_exec::{Executor, Parallelism};
+//!
+//! // Four workers; regions smaller than 1 item never go parallel.
+//! let exec = Executor::new(Parallelism::new(4).with_sequential_threshold(1));
+//!
+//! // Deterministic map: results are in index order regardless of scheduling.
+//! let squares = exec.par_map_index(1_000, |i| i * i);
+//! assert_eq!(squares[31], 961);
+//!
+//! // Scoped fork-join over borrowed data.
+//! let words = ["work", "stealing", "deque"];
+//! let lens = std::sync::Mutex::new([0usize; 3]);
+//! exec.scope(|s| {
+//!     for (i, w) in words.iter().enumerate() {
+//!         let lens = &lens;
+//!         s.spawn(move || lens.lock().unwrap()[i] = w.len());
+//!     }
+//! });
+//! assert_eq!(lens.into_inner().unwrap(), [4, 8, 5]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod deque;
+pub mod executor;
+pub mod parallelism;
+
+pub use deque::StealDeque;
+pub use executor::{Executor, Scope};
+pub use parallelism::Parallelism;

@@ -8,6 +8,7 @@
 //! | module | contents |
 //! |--------|----------|
 //! | [`graph`] | attributed data graphs, pattern graphs, predicates, traversals |
+//! | [`exec`] | the work-stealing fork-join executor and its [`Parallelism`] policy |
 //! | [`distance`] | distance matrix, BFS and 2-hop oracles, incremental shortest paths |
 //! | [`matching`] | the cubic-time `Match` (bounded simulation), graph simulation, result graphs |
 //! | [`incremental`] | `Match−`, `Match+`, `IncMatch`, and the `IncrementalMatcher` facade |
@@ -19,6 +20,38 @@
 //! Data graphs store their adjacency in compressed-sparse-row form with a
 //! delta overlay for incremental updates — see the "Physical layout" section
 //! of the [`graph`] module docs and [`DataGraph::compact`].
+//!
+//! ## Parallelism
+//!
+//! The hot paths — `Match`'s candidate refinement, distance-matrix
+//! construction, candidate computation and batch-update repair — run on a
+//! shared work-stealing executor (the [`exec`] module). Every entry point
+//! defaults to the process-wide [`Parallelism::from_env`] policy (all
+//! available cores, overridable with the `GPM_THREADS` environment
+//! variable); `*_on`/`*_with` variants accept an explicit [`Executor`] or
+//! [`Parallelism`]. Parallel and sequential runs return **bit-identical**
+//! results: every merge happens in a fixed order that does not depend on
+//! thread count (see `bounded_simulation_with_oracle_on`).
+//!
+//! ```
+//! use gpm::{bounded_simulation_on, Executor, Parallelism};
+//! use gpm::{DataGraphBuilder, PatternGraphBuilder};
+//!
+//! let (graph, _) = DataGraphBuilder::new()
+//!     .labeled_node("a").labeled_node("b").path(&["a", "b"])
+//!     .build().unwrap();
+//! let (pattern, _) = PatternGraphBuilder::new()
+//!     .labeled_node("a").labeled_node("b").edge("a", "b", 1u32)
+//!     .build().unwrap();
+//!
+//! let sequential = bounded_simulation_on(&pattern, &graph, &Executor::sequential());
+//! let parallel = bounded_simulation_on(
+//!     &pattern,
+//!     &graph,
+//!     &Executor::new(Parallelism::new(8).with_sequential_threshold(0)),
+//! );
+//! assert_eq!(sequential, parallel); // bit-identical, including stats
+//! ```
 //!
 //! ## Quickstart
 //!
@@ -55,6 +88,11 @@ pub mod graph {
     pub use gpm_graph::*;
 }
 
+/// The work-stealing fork-join executor (re-export of `gpm-exec`).
+pub mod exec {
+    pub use gpm_exec::*;
+}
+
 /// Distance oracles and incremental shortest paths (re-export of
 /// `gpm-distance`).
 pub mod distance {
@@ -84,8 +122,9 @@ pub mod datagen {
 
 // Root-level convenience re-exports.
 pub use gpm_core::{
-    bounded_simulation, bounded_simulation_with_oracle, graph_simulation, MatchOutcome,
-    MatchRelation, MatchStats, ResultGraph,
+    bounded_simulation, bounded_simulation_on, bounded_simulation_with_oracle,
+    bounded_simulation_with_oracle_on, graph_simulation, MatchOutcome, MatchRelation, MatchStats,
+    ResultGraph,
 };
 pub use gpm_datagen::{
     generate_pattern, random_graph, random_updates, Dataset, PatternGenConfig, RandomGraphConfig,
@@ -94,9 +133,12 @@ pub use gpm_datagen::{
 pub use gpm_distance::{
     BfsOracle, DistanceMatrix, DistanceOracle, EdgeUpdate, TwoHopIndex, TwoHopOracle,
 };
+pub use gpm_exec::{Executor, Parallelism};
 pub use gpm_graph::{
     AttrValue, Attributes, CmpOp, DataGraph, DataGraphBuilder, EdgeBound, GraphError, NodeId,
     PatternGraph, PatternGraphBuilder, PatternNodeId, Predicate,
 };
-pub use gpm_incremental::{inc_match, match_minus, match_plus, IncrementalMatcher, MatchState};
+pub use gpm_incremental::{
+    inc_match, inc_match_with, match_minus, match_plus, IncrementalMatcher, MatchState,
+};
 pub use gpm_iso::{subgraph_isomorphism_ullmann, subgraph_isomorphism_vf2, IsoConfig, IsoOutcome};

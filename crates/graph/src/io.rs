@@ -1,6 +1,6 @@
 //! Plain-text and JSON (de)serialization of graphs and patterns.
 //!
-//! Two formats are supported:
+//! Three formats are supported:
 //!
 //! * **JSON** via `serde_json` — lossless round trips of [`DataGraph`] and
 //!   [`PatternGraph`], used to persist generated workloads;
@@ -13,6 +13,11 @@
 //!   n 1 label="People"
 //!   e 0 1
 //!   ```
+//!
+//! * the **SNAP edge-list** format used by the real crawls the paper
+//!   evaluates on (YouTube, Amazon, …): `#`-comment lines plus one
+//!   whitespace-separated `from to` pair of arbitrary `u64` node ids per
+//!   line, streamed in a single buffered pass by [`read_snap_edge_list`].
 
 use crate::attributes::Attributes;
 use crate::data_graph::DataGraph;
@@ -21,6 +26,8 @@ use crate::node_id::NodeId;
 use crate::pattern_graph::PatternGraph;
 use crate::value::AttrValue;
 use crate::Result;
+use rustc_hash::FxHashMap;
+use std::io::BufRead;
 
 /// Serializes a data graph to a JSON string.
 pub fn data_graph_to_json(g: &DataGraph) -> Result<String> {
@@ -125,6 +132,69 @@ pub fn data_graph_from_edge_list(text: &str) -> Result<DataGraph> {
     }
     g.compact();
     Ok(g)
+}
+
+/// Loads a data graph from a SNAP-style edge list, streaming the input in a
+/// single buffered pass.
+///
+/// The format is the one used by the SNAP dataset collection (and by the
+/// YouTube/Amazon crawls of the paper's evaluation): lines starting with
+/// `#` are comments, every other non-empty line holds two
+/// whitespace-separated `u64` node ids, `from to`. Node ids are remapped
+/// densely in first-appearance order (SNAP ids are sparse and can exceed
+/// `u32`); the returned vector maps each [`NodeId`] index back to its
+/// original id. Duplicate edges are skipped (the model has no parallel
+/// edges); self-loops are kept.
+///
+/// Nodes carry no attributes — real crawls ship attributes separately; use
+/// [`DataGraph::attributes_mut`] to attach them after loading.
+pub fn read_snap_edge_list<R: BufRead>(mut reader: R) -> Result<(DataGraph, Vec<u64>)> {
+    let mut g = DataGraph::new();
+    let mut original_ids: Vec<u64> = Vec::new();
+    let mut remap: FxHashMap<u64, NodeId> = FxHashMap::default();
+    let mut intern = |raw: u64, g: &mut DataGraph, ids: &mut Vec<u64>| -> NodeId {
+        *remap.entry(raw).or_insert_with(|| {
+            ids.push(raw);
+            g.add_node(Attributes::new())
+        })
+    };
+
+    // One reused line buffer: real crawls run to tens of millions of lines,
+    // so the loop must not allocate per line (as `reader.lines()` would).
+    let mut buf = String::new();
+    let mut lineno = 0usize;
+    loop {
+        buf.clear();
+        let read = reader
+            .read_line(&mut buf)
+            .map_err(|e| GraphError::Parse(format!("line {}: {e}", lineno + 1)))?;
+        if read == 0 {
+            break;
+        }
+        let line = buf.trim();
+        if !(line.is_empty() || line.starts_with('#')) {
+            let mut fields = line.split_whitespace();
+            let from: u64 = parse_field(fields.next(), lineno, "SNAP edge source")?;
+            let to: u64 = parse_field(fields.next(), lineno, "SNAP edge target")?;
+            if fields.next().is_some() {
+                return Err(GraphError::Parse(format!(
+                    "line {}: expected `from to`, found extra fields",
+                    lineno + 1
+                )));
+            }
+            let a = intern(from, &mut g, &mut original_ids);
+            let b = intern(to, &mut g, &mut original_ids);
+            let _ = g.try_add_edge(a, b)?; // duplicates in the crawl are skipped
+        }
+        lineno += 1;
+    }
+    g.compact();
+    Ok((g, original_ids))
+}
+
+/// [`read_snap_edge_list`] over an in-memory string (tests, small files).
+pub fn data_graph_from_snap_str(text: &str) -> Result<(DataGraph, Vec<u64>)> {
+    read_snap_edge_list(text.as_bytes())
 }
 
 /// Splits a line on whitespace while keeping double-quoted segments (which
@@ -291,5 +361,53 @@ mod tests {
         let g = data_graph_from_edge_list("# nothing\n").unwrap();
         assert_eq!(g.node_count(), 0);
         assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn snap_loader_parses_comments_whitespace_and_dense_remap() {
+        let text = "# Directed graph: web-Sample.txt\n\
+                    # FromNodeId\tToNodeId\n\
+                    9999999999 17\n\
+                    17\t42\n\
+                    \n\
+                    42   9999999999\n";
+        let (g, ids) = data_graph_from_snap_str(text).unwrap();
+        // First-appearance order: 9999999999, 17, 42.
+        assert_eq!(ids, vec![9_999_999_999, 17, 42]);
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.has_edge(NodeId::new(0), NodeId::new(1)));
+        assert!(g.has_edge(NodeId::new(1), NodeId::new(2)));
+        assert!(g.has_edge(NodeId::new(2), NodeId::new(0)));
+        assert!(g.is_compact(), "loader compacts after the single pass");
+    }
+
+    #[test]
+    fn snap_loader_skips_duplicates_and_keeps_self_loops() {
+        let (g, ids) = data_graph_from_snap_str("1 2\n1 2\n2 2\n").unwrap();
+        assert_eq!(ids, vec![1, 2]);
+        assert_eq!(g.edge_count(), 2); // duplicate (1, 2) skipped
+        assert!(g.has_edge(NodeId::new(1), NodeId::new(1))); // self-loop kept
+    }
+
+    #[test]
+    fn snap_loader_streams_from_a_bufread() {
+        // Exercise the BufRead path (not just the &str convenience): a
+        // cursor over bytes, as a file reader would present them.
+        let bytes: &[u8] = b"# c\n3 4\n4 5\n";
+        let (g, ids) = read_snap_edge_list(std::io::BufReader::new(bytes)).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(ids, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn snap_loader_rejects_malformed_lines() {
+        assert!(data_graph_from_snap_str("1\n").is_err());
+        assert!(data_graph_from_snap_str("1 2 3\n").is_err());
+        assert!(data_graph_from_snap_str("a b\n").is_err());
+        let (g, ids) = data_graph_from_snap_str("# only comments\n\n").unwrap();
+        assert_eq!(g.node_count(), 0);
+        assert!(ids.is_empty());
     }
 }

@@ -20,7 +20,8 @@ use crate::affected::{Aff2, IncrementalOutcome};
 use crate::delete::process_removals;
 use crate::insert::process_additions;
 use crate::state::MatchState;
-use gpm_distance::{update_matrix_batch, DistanceMatrix, EdgeUpdate};
+use gpm_distance::{update_matrix_batch_with, DistanceMatrix, EdgeUpdate};
+use gpm_exec::Executor;
 use gpm_graph::{DataGraph, GraphError, NodeId, PatternGraph};
 use rustc_hash::FxHashSet;
 
@@ -38,6 +39,34 @@ pub fn inc_match(
     state: &mut MatchState,
     updates: &[EdgeUpdate],
 ) -> Result<IncrementalOutcome, GraphError> {
+    inc_match_with(
+        pattern,
+        graph,
+        matrix,
+        state,
+        updates,
+        &Executor::from_env(),
+    )
+}
+
+/// [`inc_match`] on an explicit executor.
+///
+/// The expensive half of batch maintenance — `UpdateBM`'s distance repair —
+/// is partitioned by affected area across the workers (source rows for
+/// insertions, affected sink columns for deletions; see
+/// [`gpm_distance::update_matrix_with`]) with merges in a fixed order, so
+/// the maintained matrix, match state and reported `AFF1`/`AFF2` are
+/// identical at every thread count. The match-repair passes themselves
+/// (`Match−`/`Match+` propagation) stay sequential: their work is
+/// proportional to `|AFF2|`, which the paper shows to be small.
+pub fn inc_match_with(
+    pattern: &PatternGraph,
+    graph: &mut DataGraph,
+    matrix: &mut DistanceMatrix,
+    state: &mut MatchState,
+    updates: &[EdgeUpdate],
+    exec: &Executor,
+) -> Result<IncrementalOutcome, GraphError> {
     pattern.require_dag()?;
 
     // Apply the batch to the graph, remembering which updates took effect.
@@ -47,7 +76,7 @@ pub fn inc_match(
             applied.push(*u);
         }
     }
-    let aff1 = update_matrix_batch(graph, matrix, &applied);
+    let aff1 = update_matrix_batch_with(graph, matrix, &applied, exec);
 
     let increased_sources: FxHashSet<NodeId> = aff1
         .iter()

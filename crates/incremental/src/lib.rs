@@ -65,7 +65,7 @@ pub mod maintainer;
 pub mod state;
 
 pub use affected::{Aff2, IncrementalStats};
-pub use batch::inc_match;
+pub use batch::{inc_match, inc_match_with};
 pub use delete::match_minus;
 pub use insert::match_plus;
 pub use maintainer::IncrementalMatcher;

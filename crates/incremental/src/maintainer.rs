@@ -10,12 +10,13 @@
 //! state.
 
 use crate::affected::IncrementalOutcome;
-use crate::batch::inc_match;
+use crate::batch::inc_match_with;
 use crate::delete::match_minus;
 use crate::insert::match_plus;
 use crate::state::MatchState;
 use gpm_core::{MatchRelation, ResultGraph};
-use gpm_distance::{update_matrix, update_matrix_batch, DistanceMatrix, EdgeUpdate};
+use gpm_distance::{update_matrix_batch_with, update_matrix_with, DistanceMatrix, EdgeUpdate};
+use gpm_exec::{Executor, Parallelism};
 use gpm_graph::{DataGraph, GraphError, PatternGraph};
 
 /// Owns a pattern, a data graph, the distance matrix and the match state, and
@@ -26,20 +27,35 @@ pub struct IncrementalMatcher {
     graph: DataGraph,
     matrix: DistanceMatrix,
     state: MatchState,
+    exec: Executor,
     recompute_fallbacks: usize,
 }
 
 impl IncrementalMatcher {
     /// Builds the matcher: computes the distance matrix and the initial
-    /// maximum match (the "batch" phase).
+    /// maximum match (the "batch" phase). Uses the process-default
+    /// [`Parallelism`] policy; see [`IncrementalMatcher::with_parallelism`].
     pub fn new(pattern: PatternGraph, graph: DataGraph) -> Self {
-        let matrix = DistanceMatrix::build(&graph);
-        let state = MatchState::initialise(&pattern, &graph, &matrix);
+        Self::with_parallelism(pattern, graph, Parallelism::from_env())
+    }
+
+    /// Builds the matcher with an explicit [`Parallelism`] policy, used for
+    /// the initial matrix build and match, and for every subsequent update's
+    /// affected-area repair.
+    pub fn with_parallelism(
+        pattern: PatternGraph,
+        graph: DataGraph,
+        parallelism: Parallelism,
+    ) -> Self {
+        let exec = Executor::new(parallelism);
+        let matrix = DistanceMatrix::build_with(&graph, &exec);
+        let state = MatchState::initialise_with(&pattern, &graph, &matrix, &exec);
         IncrementalMatcher {
             pattern,
             graph,
             matrix,
             state,
+            exec,
             recompute_fallbacks: 0,
         }
     }
@@ -119,8 +135,12 @@ impl IncrementalMatcher {
                     )
                 } else {
                     self.graph.add_edge(a, b)?;
-                    let aff1 =
-                        update_matrix(&self.graph, &mut self.matrix, EdgeUpdate::Insert(a, b));
+                    let aff1 = update_matrix_with(
+                        &self.graph,
+                        &mut self.matrix,
+                        EdgeUpdate::Insert(a, b),
+                        &self.exec,
+                    );
                     self.recompute_state();
                     Ok(IncrementalOutcome::new(aff1, Default::default(), 0))
                 }
@@ -137,12 +157,13 @@ impl IncrementalMatcher {
         updates: &[EdgeUpdate],
     ) -> Result<IncrementalOutcome, GraphError> {
         if self.pattern.is_dag() {
-            return inc_match(
+            return inc_match_with(
                 &self.pattern,
                 &mut self.graph,
                 &mut self.matrix,
                 &mut self.state,
                 updates,
+                &self.exec,
             );
         }
         let mut applied = Vec::with_capacity(updates.len());
@@ -151,14 +172,15 @@ impl IncrementalMatcher {
                 applied.push(*u);
             }
         }
-        let aff1 = update_matrix_batch(&self.graph, &mut self.matrix, &applied);
+        let aff1 = update_matrix_batch_with(&self.graph, &mut self.matrix, &applied, &self.exec);
         self.recompute_state();
         Ok(IncrementalOutcome::new(aff1, Default::default(), 0))
     }
 
     fn recompute_state(&mut self) {
         self.recompute_fallbacks += 1;
-        self.state = MatchState::initialise(&self.pattern, &self.graph, &self.matrix);
+        self.state =
+            MatchState::initialise_with(&self.pattern, &self.graph, &self.matrix, &self.exec);
     }
 }
 

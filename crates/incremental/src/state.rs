@@ -14,8 +14,9 @@
 //! sets are kept so maintenance can continue and later insertions can revive
 //! the match).
 
-use gpm_core::{bounded_simulation_with_oracle, MatchRelation};
+use gpm_core::{bounded_simulation_with_oracle_on, MatchRelation};
 use gpm_distance::DistanceOracle;
+use gpm_exec::Executor;
 use gpm_graph::{DataGraph, NodeId, PatternGraph, PatternNodeId};
 
 /// Per-pattern-node match and candidate sets.
@@ -32,26 +33,38 @@ pub struct MatchState {
 impl MatchState {
     /// Initialises the state by running the batch `Match` algorithm against
     /// the given oracle (this is the "compute matches once" step the paper
-    /// prescribes before switching to incremental maintenance).
-    pub fn initialise<O: DistanceOracle + ?Sized>(
+    /// prescribes before switching to incremental maintenance). Runs on the
+    /// process-default [`gpm_exec::Parallelism`] policy.
+    pub fn initialise<O: DistanceOracle + Sync + ?Sized>(
         pattern: &PatternGraph,
         graph: &DataGraph,
         oracle: &O,
     ) -> Self {
+        Self::initialise_with(pattern, graph, oracle, &Executor::from_env())
+    }
+
+    /// [`MatchState::initialise`] on an explicit executor (the satisfaction
+    /// bitmaps are one independent task per pattern node; the batch `Match`
+    /// run parallelises as described on
+    /// [`bounded_simulation_with_oracle_on`]).
+    pub fn initialise_with<O: DistanceOracle + Sync + ?Sized>(
+        pattern: &PatternGraph,
+        graph: &DataGraph,
+        oracle: &O,
+        exec: &Executor,
+    ) -> Self {
         let nv = graph.node_count();
         let np = pattern.node_count();
-        let satisfies: Vec<Vec<bool>> = pattern
-            .node_ids()
-            .map(|u| {
-                let mut row = vec![false; nv];
-                for v in graph.nodes_satisfying(pattern.predicate(u)) {
-                    row[v.index()] = true;
-                }
-                row
-            })
-            .collect();
+        let satisfies: Vec<Vec<bool>> = exec.map_tasks(np, nv, |ui| {
+            let u = PatternNodeId::new(ui as u32);
+            let mut row = vec![false; nv];
+            for v in graph.nodes_satisfying(pattern.predicate(u)) {
+                row[v.index()] = true;
+            }
+            row
+        });
 
-        let outcome = bounded_simulation_with_oracle(pattern, graph, oracle);
+        let outcome = bounded_simulation_with_oracle_on(pattern, graph, oracle, exec);
         let mut mat = vec![vec![false; nv]; np];
         let mut live = vec![0usize; np];
         // `Match` clears the whole relation when P ⋬ G; recover the per-node

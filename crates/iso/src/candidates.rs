@@ -5,6 +5,7 @@
 //! host the pattern node's edges. This is the standard "label and degree
 //! filter" pruning.
 
+use gpm_exec::Executor;
 use gpm_graph::{DataGraph, NodeId, PatternGraph, PatternNodeId};
 
 /// Candidate data nodes per pattern node (predicate + degree filter).
@@ -14,19 +15,27 @@ pub struct CandidateSets {
 }
 
 impl CandidateSets {
-    /// Computes the candidate sets for `pattern` over `graph`.
+    /// Computes the candidate sets for `pattern` over `graph` on the
+    /// process-default [`gpm_exec::Parallelism`] policy.
     pub fn compute(pattern: &PatternGraph, graph: &DataGraph) -> Self {
-        let per_pattern = pattern
-            .node_ids()
-            .map(|u| {
-                let need_out = pattern.out_degree(u);
-                let need_in = pattern.in_degree(u);
-                graph
-                    .nodes_satisfying(pattern.predicate(u))
-                    .filter(|&v| graph.out_degree(v) >= need_out && graph.in_degree(v) >= need_in)
-                    .collect()
-            })
-            .collect();
+        Self::compute_with(pattern, graph, &Executor::from_env())
+    }
+
+    /// Computes the candidate sets on an explicit executor: one task per
+    /// pattern node (each scans all data nodes, so the work hint is `|V|`);
+    /// results are merged in pattern-node order, so the outcome is identical
+    /// at every thread count.
+    pub fn compute_with(pattern: &PatternGraph, graph: &DataGraph, exec: &Executor) -> Self {
+        let np = pattern.node_count();
+        let per_pattern = exec.map_tasks(np, graph.node_count(), |ui| {
+            let u = PatternNodeId::new(ui as u32);
+            let need_out = pattern.out_degree(u);
+            let need_in = pattern.in_degree(u);
+            graph
+                .nodes_satisfying(pattern.predicate(u))
+                .filter(|&v| graph.out_degree(v) >= need_out && graph.in_degree(v) >= need_in)
+                .collect()
+        });
         CandidateSets { per_pattern }
     }
 

@@ -51,6 +51,7 @@ pub mod embedding;
 pub mod ullmann;
 pub mod vf2;
 
+pub use candidates::CandidateSets;
 pub use embedding::{Embedding, IsoConfig, IsoOutcome};
 pub use ullmann::subgraph_isomorphism_ullmann;
 pub use vf2::subgraph_isomorphism_vf2;
