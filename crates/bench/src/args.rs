@@ -1,10 +1,11 @@
 //! Minimal command-line argument handling shared by the experiment binaries.
 //!
-//! Only four flags are needed (`--scale`, `--seed`, `--patterns`,
-//! `--threads`), so a tiny hand-rolled parser keeps the harness free of CLI
-//! dependencies.
+//! Only six flags are needed (`--scale`, `--seed`, `--patterns`,
+//! `--threads`, `--dataset-dir`, `--dataset`), so a tiny hand-rolled parser
+//! keeps the harness free of CLI dependencies.
 
-use gpm::Parallelism;
+use gpm::{Dataset, DatasetSource, Parallelism};
+use std::path::PathBuf;
 
 /// Common harness arguments.
 #[derive(Clone, Debug, PartialEq)]
@@ -19,6 +20,14 @@ pub struct HarnessArgs {
     /// `GPM_THREADS` or all available cores). Lets the Fig. 6(f)–(h)
     /// experiments sweep 1→8 cores from the command line.
     pub threads: usize,
+    /// Directory of on-disk datasets (`<name>.edges` + optional
+    /// `<name>.attrs`, see `gpm::graph::dataset`). When set, experiments run
+    /// on the real files instead of the synthetic stand-ins.
+    pub dataset_dir: Option<PathBuf>,
+    /// Restrict to one dataset by name (an on-disk file stem when
+    /// `--dataset-dir` is set, otherwise `Matter`/`PBlog`/`YouTube`,
+    /// case-insensitive).
+    pub dataset: Option<String>,
 }
 
 impl Default for HarnessArgs {
@@ -28,13 +37,15 @@ impl Default for HarnessArgs {
             seed: 2010,
             patterns: 5,
             threads: 0,
+            dataset_dir: None,
+            dataset: None,
         }
     }
 }
 
 impl HarnessArgs {
-    /// Parses `--scale`, `--seed` and `--patterns` from an iterator of
-    /// arguments (unknown arguments are reported with an error message).
+    /// Parses the harness flags from an iterator of arguments (unknown
+    /// arguments are reported with an error message).
     pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
         let mut out = HarnessArgs::default();
         let mut iter = args.into_iter();
@@ -64,10 +75,16 @@ impl HarnessArgs {
                         .parse()
                         .map_err(|e| format!("invalid --threads: {e}"))?;
                 }
+                "--dataset-dir" => {
+                    out.dataset_dir = Some(PathBuf::from(take_value("--dataset-dir")?));
+                }
+                "--dataset" => {
+                    out.dataset = Some(take_value("--dataset")?);
+                }
                 "--help" | "-h" => {
                     return Err(
                         "usage: <experiment> [--scale <f>] [--seed <n>] [--patterns <n>] \
-                         [--threads <n>]"
+                         [--threads <n>] [--dataset-dir <path>] [--dataset <name>]"
                             .to_string(),
                     )
                 }
@@ -108,11 +125,93 @@ impl HarnessArgs {
             Parallelism::new(self.threads)
         }
     }
+
+    /// The dataset sources the multi-dataset experiments (Fig. 6(e),
+    /// Table 1) iterate over.
+    ///
+    /// With `--dataset-dir`, every `*.edges` file in the directory is one
+    /// source — the experiments consume the real on-disk crawls and never
+    /// fall back to synthetic generation. Without it, the three simulated
+    /// stand-ins of the paper are used. `--dataset <name>` narrows either
+    /// list to one entry (exact, case-insensitive).
+    pub fn dataset_sources(&self) -> Result<Vec<DatasetSource>, String> {
+        let all = match &self.dataset_dir {
+            Some(dir) => {
+                let found = DatasetSource::discover(dir).map_err(|e| e.to_string())?;
+                if found.is_empty() {
+                    return Err(format!("no `*.edges` datasets found in {}", dir.display()));
+                }
+                found
+            }
+            None => Dataset::ALL.map(DatasetSource::Synthetic).to_vec(),
+        };
+        match &self.dataset {
+            None => Ok(all),
+            Some(name) => {
+                let picked: Vec<DatasetSource> = all
+                    .iter()
+                    .filter(|s| s.name().eq_ignore_ascii_case(name))
+                    .cloned()
+                    .collect();
+                if picked.is_empty() {
+                    let known: Vec<String> = all.iter().map(DatasetSource::name).collect();
+                    Err(format!(
+                        "unknown dataset `{name}` (available: {})",
+                        known.join(", ")
+                    ))
+                } else {
+                    Ok(picked)
+                }
+            }
+        }
+    }
+
+    /// The single source used by the experiments that the paper runs on one
+    /// graph (Exp-1, Figs. 6(i)–(k), the |AFF|/|Gr| statistics): the first
+    /// [`HarnessArgs::dataset_sources`] entry when `--dataset-dir` or
+    /// `--dataset` is given, the simulated YouTube graph otherwise.
+    pub fn update_source(&self) -> Result<DatasetSource, String> {
+        if self.dataset_dir.is_none() && self.dataset.is_none() {
+            return Ok(DatasetSource::Synthetic(Dataset::YouTube));
+        }
+        Ok(self.dataset_sources()?.remove(0))
+    }
+
+    /// [`HarnessArgs::dataset_sources`], exiting with the message on error
+    /// (the experiment binaries' shared error path).
+    pub fn dataset_sources_or_exit(&self) -> Vec<DatasetSource> {
+        self.dataset_sources().unwrap_or_else(|msg| exit_with(&msg))
+    }
+
+    /// [`HarnessArgs::update_source`], exiting with the message on error.
+    pub fn update_source_or_exit(&self) -> DatasetSource {
+        self.update_source().unwrap_or_else(|msg| exit_with(&msg))
+    }
+}
+
+fn exit_with(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}
+
+/// Loads a source's graph, exiting the process with a readable message when
+/// the on-disk files are missing or malformed (the experiment binaries'
+/// shared error path).
+pub fn load_source_or_exit(source: &DatasetSource, args: &HarnessArgs) -> gpm::DataGraph {
+    match source.load(args.scale, args.seed) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("failed to load dataset `{}`: {e}", source.name());
+            std::process::exit(2);
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gpm::export_dataset;
+    use std::path::Path;
 
     fn parse(args: &[&str]) -> Result<HarnessArgs, String> {
         HarnessArgs::parse_from(args.iter().map(|s| s.to_string()))
@@ -123,6 +222,7 @@ mod tests {
         let a = parse(&[]).unwrap();
         assert_eq!(a, HarnessArgs::default());
         assert!(a.scale > 0.0);
+        assert!(a.dataset_dir.is_none());
     }
 
     #[test]
@@ -136,6 +236,10 @@ mod tests {
             "20",
             "--threads",
             "4",
+            "--dataset-dir",
+            "fixtures",
+            "--dataset",
+            "mini-youtube",
         ])
         .unwrap();
         assert_eq!(a.scale, 0.5);
@@ -143,6 +247,8 @@ mod tests {
         assert_eq!(a.patterns, 20);
         assert_eq!(a.threads, 4);
         assert_eq!(a.parallelism().threads(), 4);
+        assert_eq!(a.dataset_dir.as_deref(), Some(Path::new("fixtures")));
+        assert_eq!(a.dataset.as_deref(), Some("mini-youtube"));
     }
 
     #[test]
@@ -159,6 +265,8 @@ mod tests {
         assert!(parse(&["--scale", "-1"]).is_err());
         assert!(parse(&["--patterns", "0"]).is_err());
         assert!(parse(&["--threads", "x"]).is_err());
+        assert!(parse(&["--dataset-dir"]).is_err());
+        assert!(parse(&["--dataset"]).is_err());
         assert!(parse(&["--bogus"]).is_err());
         assert!(parse(&["--help"]).is_err());
     }
@@ -168,5 +276,65 @@ mod tests {
         let a = parse(&["--scale", "0.1"]).unwrap();
         assert_eq!(a.scaled(1000), 100);
         assert_eq!(a.scaled(10), 8, "clamped to a useful minimum");
+    }
+
+    #[test]
+    fn default_sources_are_the_three_synthetic_datasets() {
+        let a = parse(&[]).unwrap();
+        let sources = a.dataset_sources().unwrap();
+        assert_eq!(sources.len(), 3);
+        assert!(sources.iter().all(DatasetSource::is_synthetic));
+        assert_eq!(
+            a.update_source().unwrap(),
+            DatasetSource::Synthetic(Dataset::YouTube)
+        );
+    }
+
+    #[test]
+    fn dataset_flag_filters_synthetic_sources() {
+        let a = parse(&["--dataset", "pblog"]).unwrap();
+        let sources = a.dataset_sources().unwrap();
+        assert_eq!(sources.len(), 1);
+        assert_eq!(sources[0].name(), "PBlog");
+        assert_eq!(a.update_source().unwrap().name(), "PBlog");
+        let err = parse(&["--dataset", "nope"]).unwrap().dataset_sources();
+        assert!(err.unwrap_err().contains("unknown dataset"));
+    }
+
+    #[test]
+    fn dataset_dir_discovers_on_disk_sources_with_no_synthetic_fallback() {
+        let dir = std::env::temp_dir().join(format!("gpm-args-test-{}", std::process::id()));
+        let g = Dataset::PBlog.generate(0.01, 1);
+        export_dataset(&dir, "crawl-a", &g).unwrap();
+        export_dataset(&dir, "crawl-b", &g).unwrap();
+
+        let a = parse(&["--dataset-dir", dir.to_str().unwrap()]).unwrap();
+        let sources = a.dataset_sources().unwrap();
+        assert_eq!(sources.len(), 2);
+        assert!(sources.iter().all(|s| !s.is_synthetic()));
+        assert_eq!(sources[0].name(), "crawl-a");
+        assert_eq!(a.update_source().unwrap().name(), "crawl-a");
+
+        let b = parse(&[
+            "--dataset-dir",
+            dir.to_str().unwrap(),
+            "--dataset",
+            "crawl-b",
+        ])
+        .unwrap();
+        let sources = b.dataset_sources().unwrap();
+        assert_eq!(sources.len(), 1);
+        assert_eq!(sources[0].name(), "crawl-b");
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_dataset_dir_is_an_error_not_a_fallback() {
+        let dir = std::env::temp_dir().join(format!("gpm-args-empty-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = parse(&["--dataset-dir", dir.to_str().unwrap()]).unwrap();
+        assert!(a.dataset_sources().unwrap_err().contains("no `*.edges`"));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -1,5 +1,6 @@
 //! Exp-1 (effectiveness): bounded simulation vs subgraph isomorphism on the
-//! simulated YouTube graph.
+//! simulated YouTube graph (or a real on-disk dataset via
+//! `--dataset-dir`/`--dataset`).
 //!
 //! The paper generates 20 patterns, runs `Match` and `SubIso` on each, and
 //! reports (a) how many patterns SubIso fails on entirely while Match still
@@ -7,22 +8,24 @@
 //! pattern node for both approaches.
 
 use gpm::{
-    bounded_simulation_with_oracle, generate_pattern, subgraph_isomorphism_ullmann, Dataset,
-    IsoConfig, PatternGenConfig,
+    bounded_simulation_with_oracle, generate_pattern, subgraph_isomorphism_ullmann, IsoConfig,
+    PatternGenConfig,
 };
-use gpm_bench::{fmt_ms, time, HarnessArgs, Subject, Table};
+use gpm_bench::{fmt_ms, load_source_or_exit, time, HarnessArgs, Subject, Table};
 
 fn main() {
     let args = HarnessArgs::from_env();
     let pattern_count = args.patterns.max(20);
-    let graph = Dataset::YouTube.generate(args.scale, args.seed);
+    let source = args.update_source_or_exit();
+    let graph = load_source_or_exit(&source, &args);
     let subject = Subject::new(graph);
     println!(
-        "simulated YouTube: |V| = {}, |E| = {} (scale {}), distance matrix built in {} ms\n",
+        "{}: |V| = {}, |E| = {}, distance matrix built in {} ms [{}]\n",
+        source.name(),
         subject.graph.node_count(),
         subject.graph.edge_count(),
-        args.scale,
-        fmt_ms(subject.matrix_build_time)
+        fmt_ms(subject.matrix_build_time),
+        source.describe(args.scale)
     );
 
     let mut table = Table::new(

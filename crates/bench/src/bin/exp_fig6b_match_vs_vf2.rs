@@ -1,23 +1,27 @@
-//! Fig. 6(b) — efficiency of `Match` vs VF2 on the (simulated) YouTube graph.
+//! Fig. 6(b) — efficiency of `Match` vs VF2 on the (simulated) YouTube
+//! graph, or a real on-disk dataset via `--dataset-dir`/`--dataset`.
 //!
 //! X-axis: patterns P(|Vp|, |Ep|, 3) with |Vp| = |Ep| = 3..8.
 //! Curves: Match(Total) — including the distance-matrix construction,
 //! Match(Match Process) — excluding it (the matrix is computed once and
 //! shared by all patterns), and VF2.
 
-use gpm::{bounded_simulation_with_oracle, subgraph_isomorphism_vf2, Dataset, IsoConfig};
-use gpm_bench::{fmt_ms, patterns_for, time, HarnessArgs, Subject, Table};
+use gpm::{bounded_simulation_with_oracle, subgraph_isomorphism_vf2, IsoConfig};
+use gpm_bench::{fmt_ms, load_source_or_exit, patterns_for, time, HarnessArgs, Subject, Table};
 use std::time::Duration;
 
 fn main() {
     let args = HarnessArgs::from_env();
-    let graph = Dataset::YouTube.generate(args.scale, args.seed);
+    let source = args.update_source_or_exit();
+    let graph = load_source_or_exit(&source, &args);
     let subject = Subject::new(graph);
     println!(
-        "simulated YouTube: |V| = {}, |E| = {}, matrix build {} ms\n",
+        "{}: |V| = {}, |E| = {}, matrix build {} ms [{}]\n",
+        source.name(),
         subject.graph.node_count(),
         subject.graph.edge_count(),
-        fmt_ms(subject.matrix_build_time)
+        fmt_ms(subject.matrix_build_time),
+        source.describe(args.scale)
     );
 
     let mut table = Table::new(

@@ -1,7 +1,8 @@
 //! Fig. 6(i) — IncMatch vs Match under mixed batches of edge insertions and
 //! deletions on the (simulated) YouTube graph, |δ| from 400 to 3200 (scaled
 //! by `--scale`). The Match baseline recomputes the distance matrix, as in
-//! the paper.
+//! the paper. `--dataset-dir <path>` runs it on a real on-disk dataset
+//! instead of the stand-in.
 
 use gpm_bench::{run_update_experiment, HarnessArgs, UpdateMix};
 

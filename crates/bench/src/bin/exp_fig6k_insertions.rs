@@ -1,5 +1,6 @@
 //! Fig. 6(k) — IncMatch vs Match under insertion-only batches on the
 //! (simulated) YouTube graph, |δ| from 200 to 1600 (scaled by `--scale`).
+//! `--dataset-dir <path>` runs it on a real on-disk dataset instead.
 
 use gpm_bench::{run_update_experiment, HarnessArgs, UpdateMix};
 

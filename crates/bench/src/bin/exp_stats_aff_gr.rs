@@ -3,19 +3,22 @@
 //! current match), complementing Exp-2/Exp-3.
 
 use gpm::{
-    bounded_simulation_with_oracle, random_updates, Dataset, IncrementalMatcher, ResultGraph,
+    bounded_simulation_with_oracle, random_updates, IncrementalMatcher, ResultGraph,
     UpdateStreamConfig,
 };
-use gpm_bench::{dag_pattern, patterns_for, HarnessArgs, Subject, Table};
+use gpm_bench::{dag_pattern, load_source_or_exit, patterns_for, HarnessArgs, Subject, Table};
 
 fn main() {
     let args = HarnessArgs::from_env();
-    let graph = Dataset::YouTube.generate(args.scale, args.seed);
+    let source = args.update_source_or_exit();
+    let graph = load_source_or_exit(&source, &args);
     let subject = Subject::new(graph);
     println!(
-        "simulated YouTube: |V| = {}, |E| = {}\n",
+        "{}: |V| = {}, |E| = {} [{}]\n",
+        source.name(),
         subject.graph.node_count(),
-        subject.graph.edge_count()
+        subject.graph.edge_count(),
+        source.describe(args.scale)
     );
 
     // (1) Result-graph sizes for P(4,4,3) patterns.

@@ -1,6 +1,9 @@
 //! Shared driver for the incremental experiments (Figs. 6(i), 6(j), 6(k)).
 //!
-//! For each batch size `|δ|` on the x-axis the driver:
+//! The subject graph comes from [`HarnessArgs::update_source`]: the
+//! simulated YouTube stand-in by default, or a real on-disk dataset with
+//! `--dataset-dir`/`--dataset`. For each batch size `|δ|` on the x-axis the
+//! driver:
 //!
 //! 1. generates an update stream with the requested insert/delete mix;
 //! 2. runs `IncMatch` starting from the precomputed match and matrix;
@@ -10,9 +13,9 @@
 //! 4. checks the two results agree and reports both times plus
 //!    `|AFF| = |AFF1| + |AFF2|` per update.
 
-use crate::{fmt_ms, time, HarnessArgs, Table};
+use crate::{fmt_ms, load_source_or_exit, time, HarnessArgs, Table};
 use gpm::{
-    bounded_simulation_with_oracle, generate_pattern, random_updates, Dataset, DistanceMatrix,
+    bounded_simulation_with_oracle, generate_pattern, random_updates, DistanceMatrix,
     IncrementalMatcher, PatternGenConfig, PatternGraph, UpdateStreamConfig,
 };
 
@@ -66,12 +69,14 @@ pub fn run_update_experiment(
     paper_deltas: &[usize],
     args: &HarnessArgs,
 ) {
-    let graph = Dataset::YouTube.generate(args.scale, args.seed);
+    let source = args.update_source_or_exit();
+    let graph = load_source_or_exit(&source, args);
     println!(
-        "simulated YouTube: |V| = {}, |E| = {} (scale {})",
+        "{}: |V| = {}, |E| = {} [{}]",
+        source.name(),
         graph.node_count(),
         graph.edge_count(),
-        args.scale
+        source.describe(args.scale)
     );
 
     let pattern = dag_pattern(&graph, 4, 4, 3, args.seed);

@@ -17,7 +17,13 @@
 //! * `--threads <n>` — worker threads for the `gpm-exec` parallel runtime
 //!   (0 = process default, i.e. `GPM_THREADS` or all available cores);
 //!   running `exp_fig6fgh_scalability` at 1, 2, 4, 8 sweeps the core-scaling
-//!   curves.
+//!   curves;
+//! * `--dataset-dir <path>` / `--dataset <name>` — run on real on-disk
+//!   datasets (`<name>.edges` SNAP edge list + optional `<name>.attrs`
+//!   typed attribute CSV, see `gpm::graph::dataset`) instead of the
+//!   synthetic stand-ins. `--dataset-dir fixtures` uses the checked-in
+//!   mini-dataset; pointing it at a directory of downloaded SNAP crawls
+//!   reproduces Fig. 6(e)/Table 1 against the real data.
 //!
 //! ## Paper map
 //!
@@ -58,7 +64,7 @@ pub mod args;
 pub mod incremental_exp;
 pub mod table;
 
-pub use args::HarnessArgs;
+pub use args::{load_source_or_exit, HarnessArgs};
 pub use incremental_exp::{dag_pattern, run_update_experiment, UpdateMix};
 pub use table::Table;
 

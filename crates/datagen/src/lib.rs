@@ -15,7 +15,12 @@
 //!   `|V_p|`, `|E_p|`, bound `k`, data graph `G`, biased towards positive
 //!   patterns);
 //! * [`updates`] — random edge insertion/deletion streams for the incremental
-//!   experiments (Figures 6(i)–(k)).
+//!   experiments (Figures 6(i)–(k));
+//! * [`source`] — [`DatasetSource`], abstracting "generate a stand-in" vs
+//!   "load a real crawl from disk" for the experiment harness;
+//! * [`export`] — writes any generated graph as an on-disk
+//!   `<name>.edges`/`<name>.attrs` dataset (the format of
+//!   [`gpm_graph::dataset`]) that reloads bit-identically.
 //!
 //! All generators are deterministic given a seed, and every generated graph
 //! is returned [compacted](gpm_graph::DataGraph::compact) — neighbour lists
@@ -39,13 +44,17 @@
 #![warn(missing_docs)]
 
 pub mod datasets;
+pub mod export;
 pub mod pattern_gen;
 pub mod powerlaw;
 pub mod random_graph;
+pub mod source;
 pub mod updates;
 
 pub use datasets::{Dataset, DatasetSpec};
+pub use export::export_dataset;
 pub use pattern_gen::{generate_pattern, PatternGenConfig};
 pub use powerlaw::{powerlaw_graph, PowerLawConfig};
 pub use random_graph::{random_graph, RandomGraphConfig};
+pub use source::DatasetSource;
 pub use updates::{random_updates, UpdateStreamConfig};

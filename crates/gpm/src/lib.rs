@@ -7,13 +7,13 @@
 //!
 //! | module | contents |
 //! |--------|----------|
-//! | [`graph`] | attributed data graphs, pattern graphs, predicates, traversals |
+//! | [`graph`] | attributed data graphs, pattern graphs, predicates, traversals, dataset IO |
 //! | [`exec`] | the work-stealing fork-join executor and its [`Parallelism`] policy |
 //! | [`distance`] | distance matrix, BFS and 2-hop oracles, incremental shortest paths |
 //! | [`matching`] | the cubic-time `Match` (bounded simulation), graph simulation, result graphs |
 //! | [`incremental`] | `Match−`, `Match+`, `IncMatch`, and the `IncrementalMatcher` facade |
 //! | [`iso`] | subgraph-isomorphism baselines (Ullmann `SubIso`, VF2) |
-//! | [`datagen`] | synthetic graphs, simulated Matter/PBlog/YouTube datasets, pattern generator, update streams |
+//! | [`datagen`] | synthetic graphs, simulated Matter/PBlog/YouTube datasets, dataset sources/export, pattern generator, update streams |
 //!
 //! The most common entry points are also re-exported at the crate root.
 //!
@@ -127,16 +127,17 @@ pub use gpm_core::{
     ResultGraph,
 };
 pub use gpm_datagen::{
-    generate_pattern, random_graph, random_updates, Dataset, PatternGenConfig, RandomGraphConfig,
-    UpdateStreamConfig,
+    export_dataset, generate_pattern, random_graph, random_updates, Dataset, DatasetSource,
+    PatternGenConfig, RandomGraphConfig, UpdateStreamConfig,
 };
 pub use gpm_distance::{
     BfsOracle, DistanceMatrix, DistanceOracle, EdgeUpdate, TwoHopIndex, TwoHopOracle,
 };
 pub use gpm_exec::{Executor, Parallelism};
 pub use gpm_graph::{
-    AttrValue, Attributes, CmpOp, DataGraph, DataGraphBuilder, EdgeBound, GraphError, NodeId,
-    PatternGraph, PatternGraphBuilder, PatternNodeId, Predicate,
+    load_dataset, AttrSchema, AttrType, AttrValue, Attributes, CmpOp, DataGraph, DataGraphBuilder,
+    EdgeBound, GraphError, NodeId, OnDiskDataset, PatternGraph, PatternGraphBuilder, PatternNodeId,
+    Predicate,
 };
 pub use gpm_incremental::{
     inc_match, inc_match_with, match_minus, match_plus, IncrementalMatcher, MatchState,

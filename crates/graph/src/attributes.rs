@@ -91,6 +91,13 @@ impl Attributes {
         self.entries.iter().map(|(k, v)| (k.as_str(), v))
     }
 
+    /// Iterates over attribute keys in key order.
+    ///
+    /// Used by the dataset writer to infer a column schema across nodes.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|(k, _)| k.as_str())
+    }
+
     /// Convenience: the `label` attribute as a string, if present.
     pub fn label(&self) -> Option<&str> {
         self.get("label").and_then(AttrValue::as_str)
@@ -177,6 +184,7 @@ mod tests {
         let a = Attributes::from([("z", 1), ("a", 2), ("m", 3)]);
         let keys: Vec<&str> = a.iter().map(|(k, _)| k).collect();
         assert_eq!(keys, vec!["a", "m", "z"]);
+        assert_eq!(a.keys().collect::<Vec<_>>(), vec!["a", "m", "z"]);
     }
 
     #[test]

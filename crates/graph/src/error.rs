@@ -25,6 +25,19 @@ pub enum GraphError {
     PatternNotAcyclic,
     /// Parsing a serialized graph failed.
     Parse(String),
+    /// Parsing a dataset file failed at a known position.
+    ///
+    /// `line` is 1-based; `column` is the 1-based CSV column (field index)
+    /// when the error is tied to one field, `0` when it concerns the whole
+    /// line. Produced by the typed attribute-CSV loader in [`crate::dataset`].
+    ParseAt {
+        /// 1-based line number within the offending file.
+        line: usize,
+        /// 1-based CSV column, or `0` when the error spans the line.
+        column: usize,
+        /// What went wrong.
+        msg: String,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -48,6 +61,13 @@ impl fmt::Display for GraphError {
                 )
             }
             GraphError::Parse(msg) => write!(f, "parse error: {msg}"),
+            GraphError::ParseAt { line, column, msg } => {
+                if *column > 0 {
+                    write!(f, "parse error at line {line}, column {column}: {msg}")
+                } else {
+                    write!(f, "parse error at line {line}: {msg}")
+                }
+            }
         }
     }
 }
@@ -75,6 +95,22 @@ mod tests {
             (GraphError::SelfLoop(PatternNodeId::new(2)), "self-loop"),
             (GraphError::PatternNotAcyclic, "DAG"),
             (GraphError::Parse("bad line".into()), "bad line"),
+            (
+                GraphError::ParseAt {
+                    line: 7,
+                    column: 0,
+                    msg: "bad row".into(),
+                },
+                "line 7",
+            ),
+            (
+                GraphError::ParseAt {
+                    line: 7,
+                    column: 3,
+                    msg: "bad field".into(),
+                },
+                "column 3",
+            ),
         ];
         for (err, needle) in cases {
             assert!(

@@ -134,29 +134,72 @@ pub fn data_graph_from_edge_list(text: &str) -> Result<DataGraph> {
     Ok(g)
 }
 
-/// Loads a data graph from a SNAP-style edge list, streaming the input in a
-/// single buffered pass.
+/// The dense `u64 → NodeId` remap shared by the SNAP edge-list reader and
+/// the attributed-dataset loader ([`crate::dataset`]).
 ///
-/// The format is the one used by the SNAP dataset collection (and by the
-/// YouTube/Amazon crawls of the paper's evaluation): lines starting with
-/// `#` are comments, every other non-empty line holds two
-/// whitespace-separated `u64` node ids, `from to`. Node ids are remapped
-/// densely in first-appearance order (SNAP ids are sparse and can exceed
-/// `u32`); the returned vector maps each [`NodeId`] index back to its
-/// original id. Duplicate edges are skipped (the model has no parallel
-/// edges); self-loops are kept.
+/// SNAP ids are sparse and can exceed `u32`, so loaders assign [`NodeId`]s
+/// densely and keep the reverse `ids` vector (index = [`NodeId`] index,
+/// value = original id). The remap can be pre-seeded — the dataset loader
+/// seeds it from the attribute CSV so edge endpoints bind to the declared
+/// nodes — or grown on first appearance by the plain SNAP reader.
+#[derive(Debug, Default)]
+pub(crate) struct IdRemap {
+    map: FxHashMap<u64, NodeId>,
+    ids: Vec<u64>,
+}
+
+impl IdRemap {
+    pub(crate) fn new() -> Self {
+        IdRemap::default()
+    }
+
+    /// Registers `raw → id` (used while seeding from an attribute CSV).
+    /// Returns `false` when `raw` was already registered.
+    pub(crate) fn insert(&mut self, raw: u64, id: NodeId) -> bool {
+        let fresh = self.map.insert(raw, id).is_none();
+        if fresh {
+            self.ids.push(raw);
+        }
+        fresh
+    }
+
+    pub(crate) fn get(&self, raw: u64) -> Option<NodeId> {
+        self.map.get(&raw).copied()
+    }
+
+    pub(crate) fn into_ids(self) -> Vec<u64> {
+        self.ids
+    }
+}
+
+/// Streams a SNAP-style edge list into `g`, interning node ids through
+/// `remap`.
 ///
-/// Nodes carry no attributes — real crawls ship attributes separately; use
-/// [`DataGraph::attributes_mut`] to attach them after loading.
-pub fn read_snap_edge_list<R: BufRead>(mut reader: R) -> Result<(DataGraph, Vec<u64>)> {
-    let mut g = DataGraph::new();
-    let mut original_ids: Vec<u64> = Vec::new();
-    let mut remap: FxHashMap<u64, NodeId> = FxHashMap::default();
-    let mut intern = |raw: u64, g: &mut DataGraph, ids: &mut Vec<u64>| -> NodeId {
-        *remap.entry(raw).or_insert_with(|| {
-            ids.push(raw);
-            g.add_node(Attributes::new())
-        })
+/// With `allow_new = true` unseen ids create fresh (attribute-less) nodes in
+/// first-appearance order; with `allow_new = false` every endpoint must
+/// already be registered in `remap` and an unknown id is a positioned
+/// [`GraphError::ParseAt`] — the dataset loader uses this to enforce that
+/// the edge file only references nodes declared by the attribute CSV.
+pub(crate) fn read_snap_edges_into<R: BufRead>(
+    mut reader: R,
+    g: &mut DataGraph,
+    remap: &mut IdRemap,
+    allow_new: bool,
+) -> Result<()> {
+    let mut intern = |raw: u64, field: usize, lineno: usize, g: &mut DataGraph| -> Result<NodeId> {
+        if let Some(id) = remap.get(raw) {
+            return Ok(id);
+        }
+        if !allow_new {
+            return Err(GraphError::ParseAt {
+                line: lineno + 1,
+                column: field,
+                msg: format!("unknown node id {raw}: no attribute row declares it"),
+            });
+        }
+        let id = g.add_node(Attributes::new());
+        remap.insert(raw, id);
+        Ok(id)
     };
 
     // One reused line buffer: real crawls run to tens of millions of lines,
@@ -182,14 +225,36 @@ pub fn read_snap_edge_list<R: BufRead>(mut reader: R) -> Result<(DataGraph, Vec<
                     lineno + 1
                 )));
             }
-            let a = intern(from, &mut g, &mut original_ids);
-            let b = intern(to, &mut g, &mut original_ids);
+            let a = intern(from, 1, lineno, g)?;
+            let b = intern(to, 2, lineno, g)?;
             let _ = g.try_add_edge(a, b)?; // duplicates in the crawl are skipped
         }
         lineno += 1;
     }
     g.compact();
-    Ok((g, original_ids))
+    Ok(())
+}
+
+/// Loads a data graph from a SNAP-style edge list, streaming the input in a
+/// single buffered pass.
+///
+/// The format is the one used by the SNAP dataset collection (and by the
+/// YouTube/Amazon crawls of the paper's evaluation): lines starting with
+/// `#` are comments, every other non-empty line holds two
+/// whitespace-separated `u64` node ids, `from to`. Node ids are remapped
+/// densely in first-appearance order (SNAP ids are sparse and can exceed
+/// `u32`); the returned vector maps each [`NodeId`] index back to its
+/// original id. Duplicate edges are skipped (the model has no parallel
+/// edges); self-loops are kept.
+///
+/// Nodes carry no attributes — real crawls ship attributes separately; use
+/// [`crate::dataset::attach_attrs_csv`] to bind a typed attribute CSV to the
+/// remapped ids, or [`DataGraph::attributes_mut`] to attach them manually.
+pub fn read_snap_edge_list<R: BufRead>(reader: R) -> Result<(DataGraph, Vec<u64>)> {
+    let mut g = DataGraph::new();
+    let mut remap = IdRemap::new();
+    read_snap_edges_into(reader, &mut g, &mut remap, true)?;
+    Ok((g, remap.into_ids()))
 }
 
 /// [`read_snap_edge_list`] over an in-memory string (tests, small files).

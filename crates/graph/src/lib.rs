@@ -60,6 +60,7 @@ pub mod attributes;
 pub mod builder;
 mod csr;
 pub mod data_graph;
+pub mod dataset;
 pub mod edge_bound;
 pub mod error;
 pub mod io;
@@ -72,6 +73,7 @@ pub mod value;
 pub use attributes::Attributes;
 pub use builder::{DataGraphBuilder, PatternGraphBuilder};
 pub use data_graph::DataGraph;
+pub use dataset::{load_dataset, AttrSchema, OnDiskDataset};
 pub use edge_bound::EdgeBound;
 pub use error::GraphError;
 pub use node_id::{NodeId, PatternNodeId};
@@ -81,7 +83,7 @@ pub use traversal::{
     bfs_distances_bounded, bfs_order, dfs_postorder, is_dag, reachable_from, reaches,
     strongly_connected_components, topological_order,
 };
-pub use value::AttrValue;
+pub use value::{AttrType, AttrValue};
 
 /// Convenient result alias used across the graph crate.
 pub type Result<T> = std::result::Result<T, GraphError>;

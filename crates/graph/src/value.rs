@@ -28,15 +28,85 @@ pub enum AttrValue {
     Bool(bool),
 }
 
+/// The type of an [`AttrValue`], as named in dataset schemas.
+///
+/// The on-disk attribute-CSV format (see [`crate::dataset`]) declares one
+/// type per column in its header (`rate:float`, `views:int`, …); this enum is
+/// that declaration, and [`AttrType::parse_value`] is the typed field parser.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum AttrType {
+    /// A signed 64-bit integer column.
+    Int,
+    /// A 64-bit floating point column.
+    Float,
+    /// A string column.
+    Str,
+    /// A boolean column (`true` / `false`).
+    Bool,
+}
+
+impl AttrType {
+    /// The schema name of the type (`int`, `float`, `str`, `bool`).
+    pub fn name(self) -> &'static str {
+        match self {
+            AttrType::Int => "int",
+            AttrType::Float => "float",
+            AttrType::Str => "str",
+            AttrType::Bool => "bool",
+        }
+    }
+
+    /// Parses a schema type name; returns `None` for unknown names.
+    pub fn parse_name(name: &str) -> Option<AttrType> {
+        match name {
+            "int" => Some(AttrType::Int),
+            "float" => Some(AttrType::Float),
+            "str" => Some(AttrType::Str),
+            "bool" => Some(AttrType::Bool),
+            _ => None,
+        }
+    }
+
+    /// Parses a raw field as a value of this type.
+    ///
+    /// `Str` accepts any text verbatim (CSV quoting is undone by the caller);
+    /// `Bool` accepts exactly `true`/`false`; numeric types use the standard
+    /// Rust parsers, so `Float` round-trips everything `f64`'s `Display`
+    /// emits. Returns `None` when the text is not a value of the type.
+    pub fn parse_value(self, text: &str) -> Option<AttrValue> {
+        match self {
+            AttrType::Int => text.parse::<i64>().ok().map(AttrValue::Int),
+            AttrType::Float => text.parse::<f64>().ok().map(AttrValue::Float),
+            AttrType::Str => Some(AttrValue::Str(text.to_string())),
+            AttrType::Bool => match text {
+                "true" => Some(AttrValue::Bool(true)),
+                "false" => Some(AttrValue::Bool(false)),
+                _ => None,
+            },
+        }
+    }
+}
+
+impl fmt::Display for AttrType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 impl AttrValue {
+    /// The [`AttrType`] of this value.
+    pub fn attr_type(&self) -> AttrType {
+        match self {
+            AttrValue::Int(_) => AttrType::Int,
+            AttrValue::Float(_) => AttrType::Float,
+            AttrValue::Str(_) => AttrType::Str,
+            AttrValue::Bool(_) => AttrType::Bool,
+        }
+    }
+
     /// Returns a short, human readable name of the value's type.
     pub fn type_name(&self) -> &'static str {
-        match self {
-            AttrValue::Int(_) => "int",
-            AttrValue::Float(_) => "float",
-            AttrValue::Str(_) => "str",
-            AttrValue::Bool(_) => "bool",
-        }
+        self.attr_type().name()
     }
 
     /// Returns the value as an `i64` if it is an integer.
@@ -229,5 +299,62 @@ mod tests {
         assert_eq!(AttrValue::Float(1.0).type_name(), "float");
         assert_eq!(AttrValue::from("x").type_name(), "str");
         assert_eq!(AttrValue::Bool(true).type_name(), "bool");
+    }
+
+    #[test]
+    fn attr_type_names_roundtrip() {
+        for ty in [
+            AttrType::Int,
+            AttrType::Float,
+            AttrType::Str,
+            AttrType::Bool,
+        ] {
+            assert_eq!(AttrType::parse_name(ty.name()), Some(ty));
+            assert_eq!(ty.to_string(), ty.name());
+        }
+        assert_eq!(AttrType::parse_name("integer"), None);
+        assert_eq!(AttrType::parse_name(""), None);
+    }
+
+    #[test]
+    fn attr_type_of_value() {
+        assert_eq!(AttrValue::Int(1).attr_type(), AttrType::Int);
+        assert_eq!(AttrValue::Float(1.5).attr_type(), AttrType::Float);
+        assert_eq!(AttrValue::from("x").attr_type(), AttrType::Str);
+        assert_eq!(AttrValue::Bool(false).attr_type(), AttrType::Bool);
+    }
+
+    #[test]
+    fn typed_field_parsing() {
+        assert_eq!(AttrType::Int.parse_value("42"), Some(AttrValue::Int(42)));
+        assert_eq!(AttrType::Int.parse_value("4.5"), None);
+        assert_eq!(
+            AttrType::Float.parse_value("4.5"),
+            Some(AttrValue::Float(4.5))
+        );
+        assert_eq!(AttrType::Float.parse_value("x"), None);
+        assert_eq!(
+            AttrType::Str.parse_value("a, b"),
+            Some(AttrValue::Str("a, b".into()))
+        );
+        assert_eq!(
+            AttrType::Bool.parse_value("true"),
+            Some(AttrValue::Bool(true))
+        );
+        assert_eq!(AttrType::Bool.parse_value("TRUE"), None);
+        assert_eq!(AttrType::Bool.parse_value("1"), None);
+    }
+
+    #[test]
+    fn float_display_reparses_exactly() {
+        for v in [0.1f64, 4.5, -3.25, 1e-9, 123456789.125] {
+            let text = AttrValue::Float(v).attr_type().name().to_string();
+            assert_eq!(text, "float");
+            let printed = format!("{v}");
+            assert_eq!(
+                AttrType::Float.parse_value(&printed),
+                Some(AttrValue::Float(v))
+            );
+        }
     }
 }

@@ -1,0 +1,98 @@
+//! Golden tests against the checked-in `fixtures/` mini-dataset.
+//!
+//! The fixture is produced by `make_fixture` (gpm-bench) from the
+//! deterministic YouTube generator, so these tests pin three things at
+//! once: the on-disk format stays parseable, the loader binds attributes to
+//! the right nodes, and the writer → reader → writer cycle is a byte-level
+//! fixpoint (i.e. the committed files are exactly what the exporter emits
+//! for the graph they encode).
+
+use gpm::datagen::datasets::YOUTUBE_CATEGORIES;
+use gpm::graph::dataset::{dataset_attrs_string, dataset_edges_string};
+use gpm::{bounded_simulation, load_dataset, DatasetSource, PatternGraphBuilder};
+use std::path::{Path, PathBuf};
+
+fn fixtures_dir() -> PathBuf {
+    // Tests are a target of crates/gpm; the fixtures live at the repo root.
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../fixtures")
+}
+
+#[test]
+fn fixture_loads_with_expected_shape() {
+    let loaded = load_dataset(&fixtures_dir(), "mini-youtube").expect("fixture loads");
+    assert_eq!(loaded.name, "mini-youtube");
+    assert_eq!(loaded.graph.node_count(), 200);
+    assert_eq!(loaded.graph.edge_count(), 795);
+    assert_eq!(
+        loaded.original_ids,
+        (0..200u64).collect::<Vec<_>>(),
+        "exporter writes dense ids, so the remap is the identity"
+    );
+
+    let schema = loaded.schema.expect("fixture has attributes");
+    assert_eq!(
+        schema.header_line(),
+        "id,age:int,category:str,comments:int,length:int,rate:float,ratings:int,uploader:str,views:int"
+    );
+
+    // Every node carries the full YouTube schema with plausible values.
+    for v in loaded.graph.nodes() {
+        let attrs = loaded.graph.attributes(v);
+        let category = attrs.get("category").unwrap().as_str().unwrap();
+        assert!(
+            YOUTUBE_CATEGORIES.contains(&category),
+            "category {category}"
+        );
+        let rate = attrs.get("rate").unwrap().as_f64().unwrap();
+        assert!((0.0..=5.0).contains(&rate));
+        assert!(attrs.get("views").unwrap().as_int().is_some());
+        assert!(attrs.get("uploader").unwrap().as_str().is_some());
+    }
+}
+
+#[test]
+fn fixture_is_a_byte_level_roundtrip_fixpoint() {
+    let dir = fixtures_dir();
+    let loaded = load_dataset(&dir, "mini-youtube").expect("fixture loads");
+    let edges_disk = std::fs::read_to_string(dir.join("mini-youtube.edges")).unwrap();
+    let attrs_disk = std::fs::read_to_string(dir.join("mini-youtube.attrs")).unwrap();
+    assert_eq!(
+        dataset_edges_string(&loaded.graph),
+        edges_disk,
+        "re-exporting the imported graph must reproduce the committed .edges bytes"
+    );
+    assert_eq!(
+        dataset_attrs_string(&loaded.graph).unwrap(),
+        attrs_disk,
+        "re-exporting the imported graph must reproduce the committed .attrs bytes"
+    );
+}
+
+#[test]
+fn fixture_is_discoverable_and_matchable() {
+    let sources = DatasetSource::discover(&fixtures_dir()).expect("discover");
+    assert!(
+        sources.iter().any(|s| s.name() == "mini-youtube"),
+        "discovery finds the fixture"
+    );
+    let source = sources
+        .into_iter()
+        .find(|s| s.name() == "mini-youtube")
+        .unwrap();
+    let graph = source.load(1.0, 0).expect("load");
+
+    // The whole point of attributes: a predicate pattern over the fixture
+    // finds a non-empty maximum match.
+    let (pattern, ids) = PatternGraphBuilder::new()
+        .node("hub", gpm::Predicate::any())
+        .node("video", gpm::Predicate::atom("rate", gpm::CmpOp::Ge, 0.0))
+        .edge("hub", "video", 2u32)
+        .build()
+        .expect("pattern");
+    let outcome = bounded_simulation(&pattern, &graph);
+    assert!(
+        outcome.relation.is_match(&pattern),
+        "fixture graph matches a trivial bounded pattern"
+    );
+    assert!(!outcome.relation.matches_of(ids["video"]).is_empty());
+}
