@@ -28,6 +28,11 @@ pub struct HarnessArgs {
     /// `--dataset-dir` is set, otherwise `Matter`/`PBlog`/`YouTube`,
     /// case-insensitive).
     pub dataset: Option<String>,
+    /// Per-curve wall-clock budget in milliseconds for baselines with
+    /// exponential worst cases (VF2 in the Fig. 6(b) sweep): once a
+    /// pattern-size's accumulated baseline time crosses the budget, larger
+    /// sizes skip that baseline instead of hanging the harness.
+    pub cutoff_ms: u64,
 }
 
 impl Default for HarnessArgs {
@@ -39,6 +44,7 @@ impl Default for HarnessArgs {
             threads: 0,
             dataset_dir: None,
             dataset: None,
+            cutoff_ms: 2_000,
         }
     }
 }
@@ -81,10 +87,16 @@ impl HarnessArgs {
                 "--dataset" => {
                     out.dataset = Some(take_value("--dataset")?);
                 }
+                "--cutoff-ms" => {
+                    out.cutoff_ms = take_value("--cutoff-ms")?
+                        .parse()
+                        .map_err(|e| format!("invalid --cutoff-ms: {e}"))?;
+                }
                 "--help" | "-h" => {
                     return Err(
                         "usage: <experiment> [--scale <f>] [--seed <n>] [--patterns <n>] \
-                         [--threads <n>] [--dataset-dir <path>] [--dataset <name>]"
+                         [--threads <n>] [--dataset-dir <path>] [--dataset <name>] \
+                         [--cutoff-ms <n>]"
                             .to_string(),
                     )
                 }
@@ -96,6 +108,9 @@ impl HarnessArgs {
         }
         if out.patterns == 0 {
             return Err("--patterns must be at least 1".to_string());
+        }
+        if out.cutoff_ms == 0 {
+            return Err("--cutoff-ms must be at least 1".to_string());
         }
         Ok(out)
     }
@@ -240,6 +255,8 @@ mod tests {
             "fixtures",
             "--dataset",
             "mini-youtube",
+            "--cutoff-ms",
+            "750",
         ])
         .unwrap();
         assert_eq!(a.scale, 0.5);
@@ -249,6 +266,7 @@ mod tests {
         assert_eq!(a.parallelism().threads(), 4);
         assert_eq!(a.dataset_dir.as_deref(), Some(Path::new("fixtures")));
         assert_eq!(a.dataset.as_deref(), Some("mini-youtube"));
+        assert_eq!(a.cutoff_ms, 750);
     }
 
     #[test]
@@ -267,6 +285,8 @@ mod tests {
         assert!(parse(&["--threads", "x"]).is_err());
         assert!(parse(&["--dataset-dir"]).is_err());
         assert!(parse(&["--dataset"]).is_err());
+        assert!(parse(&["--cutoff-ms", "0"]).is_err());
+        assert!(parse(&["--cutoff-ms", "abc"]).is_err());
         assert!(parse(&["--bogus"]).is_err());
         assert!(parse(&["--help"]).is_err());
     }

@@ -1,0 +1,133 @@
+//! `svc_continuous` — the continuous multi-pattern service under a shared
+//! update stream: N registered patterns × U update batches, versus N
+//! independent `IncrementalMatcher`s fed the same stream.
+//!
+//! The point under measurement is **shared-AFF amortisation**: the service
+//! maintains one graph + one distance matrix and computes the affected area
+//! (`UpdateBM`) once per batch, where N independent matchers each maintain
+//! their own copies and compute it N times. The table reports both wall
+//! clock and the affected-area computation counts, and cross-checks that
+//! every service query's result equals its independent matcher's.
+
+use gpm::{
+    random_updates, EdgeUpdate, IncrementalMatcher, MatchService, PatternGraph, UpdateStreamConfig,
+};
+use gpm_bench::{dag_pattern, fmt_ms, load_source_or_exit, time, HarnessArgs, Table};
+
+/// Pre-generates `batches` update batches of `batch_size` updates each
+/// against an evolving copy of the graph, so every run replays the exact
+/// same stream.
+fn scripted_batches(
+    graph: &gpm::DataGraph,
+    batches: usize,
+    batch_size: usize,
+    seed: u64,
+) -> Vec<Vec<EdgeUpdate>> {
+    let mut scratch = graph.clone();
+    let mut script = Vec::with_capacity(batches);
+    for round in 0..batches {
+        let updates = random_updates(
+            &scratch,
+            &UpdateStreamConfig::mixed(batch_size).with_seed(seed + round as u64),
+        );
+        for u in &updates {
+            u.apply(&mut scratch);
+        }
+        script.push(updates);
+    }
+    script
+}
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let source = args.update_source_or_exit();
+    let graph = load_source_or_exit(&source, &args);
+    let parallelism = args.parallelism();
+
+    let batches = 8usize;
+    let batch_size = args.scaled(100).min(100);
+    println!(
+        "{}: |V| = {}, |E| = {}, {} batches x {} updates, {} threads [{}]\n",
+        source.name(),
+        graph.node_count(),
+        graph.edge_count(),
+        batches,
+        batch_size,
+        parallelism.threads(),
+        source.describe(args.scale)
+    );
+
+    let script = scripted_batches(&graph, batches, batch_size, args.seed + 77);
+
+    let mut table = Table::new(
+        "svc_continuous: shared incremental maintenance vs independent matchers",
+        &[
+            "K queries",
+            "service (ms)",
+            "K matchers (ms)",
+            "service AFF comps",
+            "independent AFF comps",
+            "AFF amortisation",
+            "agree",
+        ],
+    );
+
+    for k in [2usize, 4, 8, 16] {
+        let patterns: Vec<PatternGraph> = (0..k)
+            .map(|i| dag_pattern(&graph, 4, 4, 3, args.seed + i as u64 * 131))
+            .collect();
+
+        // Continuous service: one graph, one matrix, K registered queries.
+        let mut svc = MatchService::with_parallelism(graph.clone(), parallelism.clone());
+        let ids: Vec<_> = patterns.iter().map(|p| svc.register(p.clone())).collect();
+        let (_, svc_time) = time(|| {
+            for batch in &script {
+                svc.apply(batch);
+            }
+        });
+        let svc_affs = svc.stats().aff_computations;
+
+        // Baseline: K fully independent incremental matchers.
+        let mut matchers: Vec<IncrementalMatcher> = patterns
+            .iter()
+            .map(|p| {
+                IncrementalMatcher::with_parallelism(p.clone(), graph.clone(), parallelism.clone())
+            })
+            .collect();
+        // Count the baseline's affected-area computations the same way the
+        // service counts its own: one per (matcher, batch) whose updates
+        // touched the distance matrix.
+        let mut ind_affs = 0usize;
+        let (_, ind_time) = time(|| {
+            for batch in &script {
+                for m in matchers.iter_mut() {
+                    let outcome = m.apply_batch(batch).expect("DAG pattern");
+                    if !outcome.aff1.is_empty() {
+                        ind_affs += 1;
+                    }
+                }
+            }
+        });
+
+        let agree = ids
+            .iter()
+            .zip(&matchers)
+            .all(|(&id, m)| svc.result(id).unwrap() == m.relation());
+
+        table.row(vec![
+            k.to_string(),
+            fmt_ms(svc_time),
+            fmt_ms(ind_time),
+            svc_affs.to_string(),
+            ind_affs.to_string(),
+            format!("{:.1}x", ind_affs as f64 / svc_affs.max(1) as f64),
+            agree.to_string(),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nThe service computes the shared affected area once per batch; K independent\n\
+         matchers compute it K times. The `AFF amortisation` column is exactly K when\n\
+         every batch touches the matrix; wall-clock follows on update-dominated loads."
+    );
+}

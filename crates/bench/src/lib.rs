@@ -23,7 +23,9 @@
 //!   typed attribute CSV, see `gpm::graph::dataset`) instead of the
 //!   synthetic stand-ins. `--dataset-dir fixtures` uses the checked-in
 //!   mini-dataset; pointing it at a directory of downloaded SNAP crawls
-//!   reproduces Fig. 6(e)/Table 1 against the real data.
+//!   reproduces Fig. 6(e)/Table 1 against the real data;
+//! * `--cutoff-ms <n>` — wall-clock budget per curve for baselines with
+//!   exponential worst cases (VF2 in the extended Fig. 6(b) sweep).
 //!
 //! ## Paper map
 //!
@@ -36,6 +38,7 @@
 //! | Fig. 6(i)–(k) | `exp_fig6i_batch_updates`, `exp_fig6j_deletions`, `exp_fig6k_insertions` |
 //! | Fig. 9 | `exp_fig9_vary_bound` |
 //! | `\|AFF\|`, `\|Gr\|` stats (Section 5) | `exp_stats_aff_gr` |
+//! | service layer (beyond the paper) | `svc_continuous` — shared-AFF amortisation of `gpm-service` vs independent matchers |
 //!
 //! See BENCHMARKS.md at the repository root for the measurement protocol and
 //! the recorded result batches.

@@ -75,7 +75,7 @@ pub mod two_hop;
 
 pub use bfs_oracle::BfsOracle;
 pub use incremental::{
-    update_matrix, update_matrix_batch, update_matrix_batch_with, update_matrix_with,
+    update_matrix, update_matrix_batch, update_matrix_batch_with, update_matrix_with, AffectedPair,
     AffectedPairs, EdgeUpdate,
 };
 pub use matrix::DistanceMatrix;

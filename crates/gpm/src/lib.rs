@@ -11,7 +11,8 @@
 //! | [`exec`] | the work-stealing fork-join executor and its [`Parallelism`] policy |
 //! | [`distance`] | distance matrix, BFS and 2-hop oracles, incremental shortest paths |
 //! | [`matching`] | the cubic-time `Match` (bounded simulation), graph simulation, result graphs |
-//! | [`incremental`] | `Match−`, `Match+`, `IncMatch`, and the `IncrementalMatcher` facade |
+//! | [`incremental`] | `Match−`, `Match+`, `IncMatch`, shared-AFF repair, and the `IncrementalMatcher` facade |
+//! | [`service`] | the continuous multi-pattern matching service (`MatchService`: register/apply/subscribe) |
 //! | [`iso`] | subgraph-isomorphism baselines (Ullmann `SubIso`, VF2) |
 //! | [`datagen`] | synthetic graphs, simulated Matter/PBlog/YouTube datasets, dataset sources/export, pattern generator, update streams |
 //!
@@ -110,6 +111,12 @@ pub mod incremental {
     pub use gpm_incremental::*;
 }
 
+/// The continuous multi-pattern matching service (re-export of
+/// `gpm-service`).
+pub mod service {
+    pub use gpm_service::*;
+}
+
 /// Subgraph-isomorphism baselines (re-export of `gpm-iso`).
 pub mod iso {
     pub use gpm_iso::*;
@@ -140,6 +147,11 @@ pub use gpm_graph::{
     Predicate,
 };
 pub use gpm_incremental::{
-    inc_match, inc_match_with, match_minus, match_plus, IncrementalMatcher, MatchState,
+    inc_match, inc_match_with, match_minus, match_plus, repair_match_state, IncrementalMatcher,
+    MatchState, RepairOutcome,
 };
 pub use gpm_iso::{subgraph_isomorphism_ullmann, subgraph_isomorphism_vf2, IsoConfig, IsoOutcome};
+pub use gpm_service::{
+    fold_deltas, BatchOutcome, MatchDelta, MatchService, QueryCatalog, QueryId, ServiceStats,
+    Subscription,
+};

@@ -16,14 +16,12 @@
 //! dropping it" remark, and processing the phases in this order is what makes
 //! the combined repair confluent.
 
-use crate::affected::{Aff2, IncrementalOutcome};
-use crate::delete::process_removals;
-use crate::insert::process_additions;
+use crate::affected::IncrementalOutcome;
+use crate::repair::repair_match_state;
 use crate::state::MatchState;
 use gpm_distance::{update_matrix_batch_with, DistanceMatrix, EdgeUpdate};
 use gpm_exec::Executor;
-use gpm_graph::{DataGraph, GraphError, NodeId, PatternGraph};
-use rustc_hash::FxHashSet;
+use gpm_graph::{DataGraph, GraphError, PatternGraph};
 
 /// Applies a batch `δ` of edge updates to `graph`, maintains `matrix` and
 /// `state`, and reports the affected areas.
@@ -78,39 +76,15 @@ pub fn inc_match_with(
     }
     let aff1 = update_matrix_batch_with(graph, matrix, &applied, exec);
 
-    let increased_sources: FxHashSet<NodeId> = aff1
-        .iter()
-        .filter(|p| p.increased())
-        .map(|p| p.source)
-        .collect();
-    let decreased_sources: FxHashSet<NodeId> = aff1
-        .iter()
-        .filter(|p| !p.increased())
-        .map(|p| p.source)
-        .collect();
-
-    let mut aff2 = Aff2::default();
-    let mut verifications = 0usize;
-    // Removals first (see module docs), then additions.
-    process_removals(
-        pattern,
-        matrix,
-        state,
-        &increased_sources,
-        &mut aff2,
-        &mut verifications,
-    );
-    let mut additions = Aff2::default();
-    process_additions(
-        pattern,
-        matrix,
-        state,
-        &decreased_sources,
-        &mut additions,
-        &mut verifications,
-    );
-    aff2.merge(additions);
-    Ok(IncrementalOutcome::new(aff1, aff2, verifications))
+    // Removals first, then additions (see module docs) — the shared repair
+    // entry point preserves that order; the DAG requirement is already
+    // checked above, so it cannot fail here.
+    let repair = repair_match_state(pattern, matrix, state, &aff1)?;
+    Ok(IncrementalOutcome::new(
+        aff1,
+        repair.aff2,
+        repair.verifications,
+    ))
 }
 
 #[cfg(test)]

@@ -12,7 +12,11 @@
 //! * [`inc_match`] — `IncMatch` (Fig. 8): a batch of updates, DAG patterns;
 //! * [`IncrementalMatcher`] — an owning facade that keeps the graph, the
 //!   distance matrix `M`, and the match state together and applies update
-//!   streams (what an application would actually embed).
+//!   streams (what an application would actually embed);
+//! * [`repair_match_state`] — the repair step on its own, driven by a
+//!   precomputed `AFF1`, so a multi-query service (`gpm-service`) can pay
+//!   the shared graph/matrix maintenance once per batch and replay only the
+//!   cheap per-query repair for every registered pattern.
 //!
 //! Every operation reports the affected areas: `AFF1` (node pairs whose
 //! distance changed — from `gpm-distance`) and `AFF2` (match pairs added or
@@ -62,6 +66,7 @@ pub mod batch;
 pub mod delete;
 pub mod insert;
 pub mod maintainer;
+pub mod repair;
 pub mod state;
 
 pub use affected::{Aff2, IncrementalStats};
@@ -69,6 +74,7 @@ pub use batch::{inc_match, inc_match_with};
 pub use delete::match_minus;
 pub use insert::match_plus;
 pub use maintainer::IncrementalMatcher;
+pub use repair::{repair_match_state, split_aff1_sources, RepairOutcome};
 pub use state::MatchState;
 
 /// Result alias for incremental operations.

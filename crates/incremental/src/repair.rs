@@ -1,0 +1,230 @@
+//! Reusable match-state repair from a precomputed `AFF1`.
+//!
+//! `Match−`/`Match+`/`IncMatch` each bundle three steps: mutate the graph,
+//! maintain the distance matrix (producing `AFF1`), and repair the match
+//! state from the affected sources. A continuous-query service maintaining
+//! *many* patterns over one graph wants to pay the first two steps — by far
+//! the expensive ones — **once per update batch** and replay only the third,
+//! cheap step per registered query. This module exposes that third step on
+//! its own: [`repair_match_state`] takes the `AFF1` produced by one shared
+//! `UpdateBM` run and repairs one query's [`MatchState`] against the
+//! already-updated matrix.
+//!
+//! The coverage rules mirror the per-query algorithms:
+//!
+//! * distance **increases** are repaired with the removal propagation of
+//!   `Match−`, which supports arbitrary (cyclic) patterns;
+//! * distance **decreases** are repaired with the addition propagation of
+//!   `Match+`, which requires a DAG pattern — a cyclic pattern whose `AFF1`
+//!   contains decreases errors with [`GraphError::PatternNotAcyclic`]
+//!   (callers fall back to recomputation, as `IncrementalMatcher` does).
+
+use crate::affected::Aff2;
+use crate::delete::process_removals;
+use crate::insert::process_additions;
+use crate::state::MatchState;
+use gpm_distance::{AffectedPairs, DistanceMatrix};
+use gpm_graph::{GraphError, NodeId, PatternGraph};
+use rustc_hash::FxHashSet;
+
+/// The result of one per-query repair pass: the match-pair delta and the
+/// verification work it took.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RepairOutcome {
+    /// `AFF2`: the match pairs this repair added or removed.
+    pub aff2: Aff2,
+    /// Candidate re-verifications performed (the per-query work proxy).
+    pub verifications: usize,
+}
+
+/// The affected sources of an `AFF1`, split by direction of change:
+/// `(increased, decreased)` outgoing-distance source sets.
+pub fn split_aff1_sources(aff1: &AffectedPairs) -> (FxHashSet<NodeId>, FxHashSet<NodeId>) {
+    let mut increased = FxHashSet::default();
+    let mut decreased = FxHashSet::default();
+    for p in aff1.iter() {
+        if p.increased() {
+            increased.insert(p.source);
+        } else {
+            decreased.insert(p.source);
+        }
+    }
+    (increased, decreased)
+}
+
+/// Repairs one query's match state from a shared, precomputed `AFF1`.
+///
+/// `matrix` must already reflect the updates that produced `aff1` (i.e. the
+/// caller ran `update_matrix[_batch]` first). Removals are processed before
+/// additions, exactly as `IncMatch` does, so the repaired state equals a
+/// from-scratch recomputation on the updated graph.
+///
+/// Errors with [`GraphError::PatternNotAcyclic`] — leaving `state`
+/// untouched — when `aff1` contains distance decreases and `pattern` is
+/// cyclic (the combination upward propagation cannot handle; see the module
+/// docs of [`crate::insert`]).
+pub fn repair_match_state(
+    pattern: &PatternGraph,
+    matrix: &DistanceMatrix,
+    state: &mut MatchState,
+    aff1: &AffectedPairs,
+) -> Result<RepairOutcome, GraphError> {
+    let (increased, decreased) = split_aff1_sources(aff1);
+    if !decreased.is_empty() {
+        pattern.require_dag()?;
+    }
+
+    let mut aff2 = Aff2::default();
+    let mut verifications = 0usize;
+    process_removals(
+        pattern,
+        matrix,
+        state,
+        &increased,
+        &mut aff2,
+        &mut verifications,
+    );
+    let mut additions = Aff2::default();
+    process_additions(
+        pattern,
+        matrix,
+        state,
+        &decreased,
+        &mut additions,
+        &mut verifications,
+    );
+    aff2.merge(additions);
+    Ok(RepairOutcome {
+        aff2,
+        verifications,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_core::bounded_simulation_with_oracle;
+    use gpm_datagen::{random_graph, random_updates, RandomGraphConfig, UpdateStreamConfig};
+    use gpm_distance::{update_matrix_batch, EdgeUpdate};
+    use gpm_graph::{PatternGraphBuilder, Predicate};
+
+    fn dag_pattern() -> PatternGraph {
+        let (p, _) = PatternGraphBuilder::new()
+            .node("x", Predicate::label("a0"))
+            .node("y", Predicate::label("a1"))
+            .node("z", Predicate::label("a2"))
+            .edge("x", "y", 2u32)
+            .edge("y", "z", 3u32)
+            .build()
+            .unwrap();
+        p
+    }
+
+    fn cyclic_pattern() -> PatternGraph {
+        let (p, _) = PatternGraphBuilder::new()
+            .node("x", Predicate::label("a0"))
+            .node("y", Predicate::label("a1"))
+            .edge("x", "y", 2u32)
+            .edge("y", "x", 2u32)
+            .build()
+            .unwrap();
+        p
+    }
+
+    /// One shared AFF1 repairs several independent states to the same result
+    /// a from-scratch run produces — the service-layer contract.
+    #[test]
+    fn shared_aff1_repairs_multiple_states() {
+        for seed in 0..6u64 {
+            let mut g = random_graph(&RandomGraphConfig::new(40, 90, 5).with_seed(seed));
+            let patterns: Vec<PatternGraph> = vec![dag_pattern(), dag_pattern()];
+            let mut m = gpm_distance::DistanceMatrix::build(&g);
+            let mut states: Vec<MatchState> = patterns
+                .iter()
+                .map(|p| MatchState::initialise(p, &g, &m))
+                .collect();
+
+            let updates = random_updates(&g, &UpdateStreamConfig::mixed(20).with_seed(seed + 50));
+            let applied: Vec<EdgeUpdate> = updates
+                .iter()
+                .filter(|u| u.apply(&mut g))
+                .copied()
+                .collect();
+            let aff1 = update_matrix_batch(&g, &mut m, &applied);
+
+            for (p, s) in patterns.iter().zip(states.iter_mut()) {
+                repair_match_state(p, &m, s, &aff1).unwrap();
+                let recomputed = bounded_simulation_with_oracle(p, &g, &m);
+                assert_eq!(s.relation(), recomputed.relation, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn cyclic_pattern_with_decreases_is_rejected_untouched() {
+        let mut g = random_graph(&RandomGraphConfig::new(30, 50, 4).with_seed(3));
+        let p = cyclic_pattern();
+        let mut m = gpm_distance::DistanceMatrix::build(&g);
+        let mut s = MatchState::initialise(&p, &g, &m);
+        let before = s.clone();
+
+        let updates = random_updates(&g, &UpdateStreamConfig::insertions(5).with_seed(4));
+        let applied: Vec<EdgeUpdate> = updates
+            .iter()
+            .filter(|u| u.apply(&mut g))
+            .copied()
+            .collect();
+        let aff1 = update_matrix_batch(&g, &mut m, &applied);
+        if aff1.iter().any(|pr| !pr.increased()) {
+            let err = repair_match_state(&p, &m, &mut s, &aff1);
+            assert_eq!(err.unwrap_err(), GraphError::PatternNotAcyclic);
+            assert_eq!(s, before, "failed repair must not touch the state");
+        }
+    }
+
+    /// Deletion-only batches repair cyclic patterns incrementally.
+    #[test]
+    fn cyclic_pattern_with_deletions_only_is_repaired() {
+        for seed in 0..4u64 {
+            let mut g = random_graph(&RandomGraphConfig::new(30, 70, 4).with_seed(seed));
+            let p = cyclic_pattern();
+            let mut m = gpm_distance::DistanceMatrix::build(&g);
+            let mut s = MatchState::initialise(&p, &g, &m);
+
+            let updates =
+                random_updates(&g, &UpdateStreamConfig::deletions(10).with_seed(seed + 9));
+            let applied: Vec<EdgeUpdate> = updates
+                .iter()
+                .filter(|u| u.apply(&mut g))
+                .copied()
+                .collect();
+            let aff1 = update_matrix_batch(&g, &mut m, &applied);
+            repair_match_state(&p, &m, &mut s, &aff1).unwrap();
+            let recomputed = bounded_simulation_with_oracle(&p, &g, &m);
+            assert_eq!(s.relation(), recomputed.relation, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn split_sources_partitions_by_direction() {
+        let aff1 = AffectedPairs {
+            pairs: vec![
+                gpm_distance::AffectedPair {
+                    source: NodeId::new(0),
+                    sink: NodeId::new(1),
+                    old: 2,
+                    new: 5,
+                },
+                gpm_distance::AffectedPair {
+                    source: NodeId::new(3),
+                    sink: NodeId::new(1),
+                    old: 5,
+                    new: 2,
+                },
+            ],
+        };
+        let (inc, dec) = split_aff1_sources(&aff1);
+        assert!(inc.contains(&NodeId::new(0)) && inc.len() == 1);
+        assert!(dec.contains(&NodeId::new(3)) && dec.len() == 1);
+    }
+}

@@ -1,0 +1,208 @@
+//! The query catalog: per-query state behind stable [`QueryId`]s.
+//!
+//! Each registered pattern owns a [`QueryEntry`]: the pattern itself, its
+//! (lazily materialised) [`MatchState`], the last relation its subscribers
+//! were told about, and the subscriber channels. The catalog supports
+//! deregistration (the entry and its channels are dropped) and **lazy
+//! (re)activation**: suspending a query frees its match state and removes it
+//! from the per-batch repair fan-out entirely; resuming marks it active
+//! again, and the state is rebuilt from the shared distance matrix on the
+//! next batch or result read — at which point subscribers receive one
+//! catch-up delta that reconciles everything they missed while suspended.
+
+use crate::delta::{MatchDelta, QueryId};
+use gpm_core::MatchRelation;
+use gpm_graph::PatternGraph;
+use gpm_incremental::MatchState;
+use std::sync::mpsc::Sender;
+
+/// How a query's state was brought up to date during one batch.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum RepairKind {
+    /// Incremental repair from the shared `AFF1` (the common path).
+    Incremental,
+    /// Full recomputation fallback (cyclic pattern with distance decreases).
+    Recompute,
+    /// Lazy activation: the state was (re)built because none existed.
+    Activation,
+}
+
+/// The per-batch scratch a repair task leaves behind for the sequential
+/// emission pass.
+#[derive(Clone, Debug)]
+pub(crate) struct BatchWork {
+    pub delta: MatchDelta,
+    pub kind: RepairKind,
+    pub verifications: usize,
+}
+
+/// One registered query.
+#[derive(Debug)]
+pub struct QueryEntry {
+    pub(crate) id: QueryId,
+    pub(crate) pattern: PatternGraph,
+    /// `None` while suspended or awaiting lazy activation.
+    pub(crate) state: Option<MatchState>,
+    /// The visible relation as of the last delta emission — the fold of
+    /// everything subscribers have been sent.
+    pub(crate) emitted: MatchRelation,
+    pub(crate) active: bool,
+    pub(crate) subscribers: Vec<Sender<MatchDelta>>,
+    pub(crate) pending: Option<BatchWork>,
+}
+
+impl QueryEntry {
+    /// The query's id.
+    pub fn id(&self) -> QueryId {
+        self.id
+    }
+
+    /// The registered pattern.
+    pub fn pattern(&self) -> &PatternGraph {
+        &self.pattern
+    }
+
+    /// Whether the query participates in per-batch repair.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Whether the match state is currently materialised (suspended or
+    /// not-yet-activated queries hold none).
+    pub fn has_state(&self) -> bool {
+        self.state.is_some()
+    }
+}
+
+/// All registered queries, in registration order.
+///
+/// Ids are allocated monotonically and never reused; iteration order is
+/// ascending id order, which is what makes the service's delta emission
+/// deterministic.
+#[derive(Debug, Default)]
+pub struct QueryCatalog {
+    entries: Vec<QueryEntry>,
+    next_id: u64,
+}
+
+impl QueryCatalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        QueryCatalog::default()
+    }
+
+    /// Registers a pattern with an initial state and visible relation,
+    /// returning its fresh id.
+    pub(crate) fn register(
+        &mut self,
+        pattern: PatternGraph,
+        state: MatchState,
+        emitted: MatchRelation,
+    ) -> QueryId {
+        let id = QueryId(self.next_id);
+        self.next_id += 1;
+        self.entries.push(QueryEntry {
+            id,
+            pattern,
+            state: Some(state),
+            emitted,
+            active: true,
+            subscribers: Vec::new(),
+            pending: None,
+        });
+        id
+    }
+
+    /// Removes a query; its subscriber channels close. Returns whether the
+    /// id was present.
+    pub fn deregister(&mut self, id: QueryId) -> bool {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.id != id);
+        self.entries.len() != before
+    }
+
+    /// Number of registered queries (active or suspended).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no queries are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The registered ids, in registration order.
+    pub fn ids(&self) -> Vec<QueryId> {
+        self.entries.iter().map(|e| e.id).collect()
+    }
+
+    /// Shared access to an entry.
+    pub fn get(&self, id: QueryId) -> Option<&QueryEntry> {
+        self.entries.iter().find(|e| e.id == id)
+    }
+
+    pub(crate) fn get_mut(&mut self, id: QueryId) -> Option<&mut QueryEntry> {
+        self.entries.iter_mut().find(|e| e.id == id)
+    }
+
+    /// Iterates over every entry in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &QueryEntry> {
+        self.entries.iter()
+    }
+
+    pub(crate) fn iter_mut(&mut self) -> impl Iterator<Item = &mut QueryEntry> {
+        self.entries.iter_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_graph::PatternGraphBuilder;
+
+    fn entry_pattern() -> PatternGraph {
+        PatternGraphBuilder::new()
+            .labeled_node("A")
+            .labeled_node("B")
+            .edge("A", "B", 1u32)
+            .build()
+            .unwrap()
+            .0
+    }
+
+    fn dummy_state(p: &PatternGraph) -> MatchState {
+        let g = gpm_graph::DataGraph::new();
+        let m = gpm_distance::DistanceMatrix::build(&g);
+        MatchState::initialise(p, &g, &m)
+    }
+
+    #[test]
+    fn ids_are_monotonic_and_never_reused() {
+        let mut c = QueryCatalog::new();
+        let p = entry_pattern();
+        let a = c.register(p.clone(), dummy_state(&p), MatchRelation::empty(2));
+        let b = c.register(p.clone(), dummy_state(&p), MatchRelation::empty(2));
+        assert!(a < b);
+        assert!(c.deregister(a));
+        assert!(!c.deregister(a), "double deregister is a no-op");
+        let d = c.register(p.clone(), dummy_state(&p), MatchRelation::empty(2));
+        assert!(d > b, "freed ids are not recycled");
+        assert_eq!(c.ids(), vec![b, d]);
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn get_and_accessors() {
+        let mut c = QueryCatalog::new();
+        let p = entry_pattern();
+        let id = c.register(p.clone(), dummy_state(&p), MatchRelation::empty(2));
+        let e = c.get(id).unwrap();
+        assert_eq!(e.id(), id);
+        assert_eq!(e.pattern().node_count(), 2);
+        assert!(e.is_active());
+        assert!(e.has_state());
+        assert!(c.get(QueryId(999)).is_none());
+        assert_eq!(c.iter().count(), 1);
+    }
+}

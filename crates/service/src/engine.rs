@@ -1,0 +1,653 @@
+//! The continuous-query engine: one evolving graph, many standing patterns.
+//!
+//! [`MatchService`] owns the shared state every registered query needs — the
+//! data graph and its all-pairs distance matrix — and multiplexes update
+//! batches across the catalog:
+//!
+//! 1. the batch is applied to the graph and the matrix is maintained with
+//!    `UpdateBM` **once**, producing the shared affected area `AFF1`
+//!    (this is the expensive step, and it is paid per batch, not per query);
+//! 2. every active query repairs its own match state from that shared
+//!    `AFF1` (`gpm_incremental::repair_match_state`), fanned out across the
+//!    `gpm-exec` work-stealing executor — queries are independent, so each
+//!    task owns exactly one query's state;
+//! 3. deltas are emitted sequentially in registration order, so the
+//!    per-query streams (and the batch outcome) are bit-identical at any
+//!    thread count.
+//!
+//! Cyclic patterns are first-class: batches that only increase distances
+//! repair them incrementally (`Match−` propagation); batches with distance
+//! decreases fall back to recomputing that query's state against the
+//! already-maintained matrix — never the matrix itself.
+
+use crate::catalog::{BatchWork, QueryCatalog, QueryEntry, RepairKind};
+use crate::delta::{MatchDelta, QueryId, Subscription};
+use gpm_core::MatchRelation;
+use gpm_distance::{update_matrix_batch_with, AffectedPairs, DistanceMatrix, EdgeUpdate};
+use gpm_exec::{Executor, Parallelism};
+use gpm_graph::{DataGraph, GraphError, PatternGraph};
+use gpm_incremental::{repair_match_state, MatchState};
+use std::sync::mpsc;
+
+/// Counters describing the work the service has done since construction.
+///
+/// `aff_computations` is the headline amortisation metric: a service with
+/// `K` registered queries performs **one** affected-area computation per
+/// update batch, where `K` independent [`gpm_incremental::IncrementalMatcher`]s
+/// would perform `K` (the `svc_continuous` experiment prints both sides).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Update batches applied.
+    pub batches: usize,
+    /// Individual updates that took effect (no-ops excluded).
+    pub updates_applied: usize,
+    /// Shared affected-area (`UpdateBM`) computations performed.
+    pub aff_computations: usize,
+    /// Per-query incremental repairs driven by a shared `AFF1`.
+    pub repairs: usize,
+    /// Per-query full recomputations (cyclic pattern + distance decreases).
+    pub recompute_fallbacks: usize,
+    /// Lazy (re)activations: match states built on demand.
+    pub activations: usize,
+    /// Non-empty per-query deltas emitted.
+    pub deltas_emitted: usize,
+    /// Candidate re-verifications across all per-query repairs.
+    pub verifications: usize,
+}
+
+/// What one [`MatchService::apply`] call did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// The epoch this batch was assigned (monotonic, starting at 1).
+    pub epoch: u64,
+    /// Updates that took effect (duplicates/missing edges are skipped).
+    pub applied: usize,
+    /// `|AFF1|` of the shared distance maintenance.
+    pub aff1: usize,
+    /// The non-empty per-query deltas, in registration order. The same
+    /// deltas are pushed to each query's subscribers.
+    pub deltas: Vec<MatchDelta>,
+}
+
+/// A continuous multi-pattern matching service over one evolving graph.
+///
+/// ```
+/// use gpm_graph::{DataGraphBuilder, PatternGraphBuilder};
+/// use gpm_distance::EdgeUpdate;
+/// use gpm_service::MatchService;
+///
+/// let (g, ids) = DataGraphBuilder::new()
+///     .labeled_node("boss")
+///     .labeled_node("mid")
+///     .labeled_node("worker")
+///     .edge("boss", "mid")
+///     .build()
+///     .unwrap();
+/// let (p, _) = PatternGraphBuilder::new()
+///     .labeled_node("boss")
+///     .labeled_node("worker")
+///     .edge("boss", "worker", 2u32)
+///     .build()
+///     .unwrap();
+///
+/// let mut svc = MatchService::new(g);
+/// let q = svc.register(p);
+/// let sub = svc.subscribe(q).unwrap();
+/// assert!(svc.result(q).unwrap().is_empty()); // no boss→worker path yet
+///
+/// let out = svc.apply(&[EdgeUpdate::Insert(ids["mid"], ids["worker"])]);
+/// assert_eq!(out.deltas.len(), 1); // the match appeared
+/// assert!(!svc.result(q).unwrap().is_empty());
+/// // Subscribers see the same stream: snapshot + the batch delta.
+/// assert_eq!(sub.drain().len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct MatchService {
+    graph: DataGraph,
+    matrix: DistanceMatrix,
+    exec: Executor,
+    catalog: QueryCatalog,
+    epoch: u64,
+    stats: ServiceStats,
+}
+
+impl MatchService {
+    /// Builds the service around a data graph: the shared distance matrix is
+    /// computed once, up front, on the process-default [`Parallelism`].
+    pub fn new(graph: DataGraph) -> Self {
+        Self::with_parallelism(graph, Parallelism::from_env())
+    }
+
+    /// [`MatchService::new`] with an explicit [`Parallelism`] policy, used
+    /// for the matrix build, query registration and every batch's fan-out.
+    pub fn with_parallelism(graph: DataGraph, parallelism: Parallelism) -> Self {
+        let exec = Executor::new(parallelism);
+        let matrix = DistanceMatrix::build_with(&graph, &exec);
+        MatchService {
+            graph,
+            matrix,
+            exec,
+            catalog: QueryCatalog::new(),
+            epoch: 0,
+            stats: ServiceStats::default(),
+        }
+    }
+
+    /// The current data graph.
+    pub fn graph(&self) -> &DataGraph {
+        &self.graph
+    }
+
+    /// The shared, maintained distance matrix.
+    pub fn matrix(&self) -> &DistanceMatrix {
+        &self.matrix
+    }
+
+    /// The query catalog (read access).
+    pub fn catalog(&self) -> &QueryCatalog {
+        &self.catalog
+    }
+
+    /// Work counters since construction.
+    pub fn stats(&self) -> &ServiceStats {
+        &self.stats
+    }
+
+    /// The epoch of the most recent batch (0 before any update).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Registers a standing pattern; its initial match is computed against
+    /// the current graph immediately. Returns the query's stable id.
+    pub fn register(&mut self, pattern: PatternGraph) -> QueryId {
+        let state = MatchState::initialise_with(&pattern, &self.graph, &self.matrix, &self.exec);
+        let emitted = state.relation();
+        self.catalog.register(pattern, state, emitted)
+    }
+
+    /// Removes a query; its subscriptions close. Returns whether the id was
+    /// registered.
+    pub fn deregister(&mut self, id: QueryId) -> bool {
+        self.catalog.deregister(id)
+    }
+
+    /// Suspends a query: it stops participating in per-batch repair and its
+    /// match state is freed. Subscriptions stay open but silent. Returns
+    /// `false` for unknown ids.
+    pub fn suspend(&mut self, id: QueryId) -> bool {
+        match self.catalog.get_mut(id) {
+            Some(e) => {
+                e.active = false;
+                e.state = None;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Resumes a suspended query **lazily**: the query is marked active, but
+    /// its state is only rebuilt on the next batch or [`MatchService::result`]
+    /// call — at which point subscribers receive one catch-up delta covering
+    /// everything missed while suspended. Returns `false` for unknown ids.
+    pub fn resume(&mut self, id: QueryId) -> bool {
+        match self.catalog.get_mut(id) {
+            Some(e) => {
+                e.active = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Subscribes to a query's delta stream. The first delta is a snapshot
+    /// of the result as of the last emission, so folding the stream from an
+    /// empty relation reproduces the query's result. Returns `None` for
+    /// unknown ids.
+    pub fn subscribe(&mut self, id: QueryId) -> Option<Subscription> {
+        let epoch = self.epoch;
+        let entry = self.catalog.get_mut(id)?;
+        let (tx, rx) = mpsc::channel();
+        let snapshot = MatchDelta::snapshot(id, epoch, &entry.emitted);
+        // A send to a channel whose receiver we still hold cannot fail.
+        let _ = tx.send(snapshot);
+        entry.subscribers.push(tx);
+        Some(Subscription { query: id, rx })
+    }
+
+    /// The query's current visible result. Materialises the state if the
+    /// query was lazily resumed (counted in [`ServiceStats::activations`]) —
+    /// in that case subscribers receive the catch-up delta right here, so
+    /// their folded stream always equals the returned relation. Returns
+    /// `None` for unknown or suspended queries.
+    pub fn result(&mut self, id: QueryId) -> Option<MatchRelation> {
+        // Split borrows: the entry is mutated, graph/matrix/exec are read.
+        let (graph, matrix, exec) = (&self.graph, &self.matrix, &self.exec);
+        let epoch = self.epoch;
+        let entry = self.catalog.get_mut(id)?;
+        if !entry.active {
+            return None;
+        }
+        if entry.state.is_none() {
+            let state = MatchState::initialise_with(&entry.pattern, graph, matrix, exec);
+            let visible = state.relation();
+            entry.state = Some(state);
+            self.stats.activations += 1;
+            // Reconcile subscribers with everything missed while suspended.
+            let delta = MatchDelta::between(id, epoch, &entry.emitted, &visible);
+            entry.emitted = visible.clone();
+            if !delta.is_empty() {
+                self.stats.deltas_emitted += 1;
+                entry
+                    .subscribers
+                    .retain(|tx| tx.send(delta.clone()).is_ok());
+            }
+            return Some(visible);
+        }
+        entry.state.as_ref().map(MatchState::relation)
+    }
+
+    /// Applies one update (sugar for a one-element [`MatchService::apply`]).
+    pub fn apply_one(&mut self, update: EdgeUpdate) -> BatchOutcome {
+        self.apply(&[update])
+    }
+
+    /// Applies a batch of updates and fans the repair out to every active
+    /// query.
+    ///
+    /// Updates that are no-ops at their position in the batch — inserting an
+    /// existing edge, deleting a missing one, or touching an unknown node —
+    /// are skipped, exactly like `IncMatch`'s batch semantics; the service
+    /// never leaves queries inconsistent halfway through a batch. The
+    /// returned outcome carries every non-empty per-query delta; the same
+    /// deltas are pushed to subscribers.
+    pub fn apply(&mut self, updates: &[EdgeUpdate]) -> BatchOutcome {
+        self.epoch += 1;
+        self.stats.batches += 1;
+
+        // Step 1: shared maintenance, paid once for the whole catalog.
+        let mut applied: Vec<EdgeUpdate> = Vec::with_capacity(updates.len());
+        for u in updates {
+            if u.apply(&mut self.graph) {
+                applied.push(*u);
+            }
+        }
+        self.stats.updates_applied += applied.len();
+        let aff1 = if applied.is_empty() {
+            AffectedPairs::default()
+        } else {
+            self.stats.aff_computations += 1;
+            update_matrix_batch_with(&self.graph, &mut self.matrix, &applied, &self.exec)
+        };
+
+        // Step 2: fan the per-query repair out across the executor. Each
+        // task owns one query's state; merges are per-entry slots, so the
+        // result is independent of scheduling. A batch that left the matrix
+        // untouched cannot change any up-to-date query, so only lazily
+        // resumed entries (no state yet) need work then.
+        let (graph, matrix, exec) = (&self.graph, &self.matrix, &self.exec);
+        let epoch = self.epoch;
+        let mut work: Vec<&mut QueryEntry> = self
+            .catalog
+            .iter_mut()
+            .filter(|e| e.active && (e.state.is_none() || !aff1.is_empty()))
+            .collect();
+        exec.par_chunks_mut(&mut work, 1, |_, chunk| {
+            for entry in chunk.iter_mut() {
+                repair_entry(entry, graph, matrix, &aff1, epoch);
+            }
+        });
+
+        // Step 3: emit sequentially, in registration order.
+        let mut outcome = BatchOutcome {
+            epoch,
+            applied: applied.len(),
+            aff1: aff1.len(),
+            deltas: Vec::new(),
+        };
+        for entry in self.catalog.iter_mut() {
+            let Some(batch_work) = entry.pending.take() else {
+                continue;
+            };
+            match batch_work.kind {
+                RepairKind::Incremental => self.stats.repairs += 1,
+                RepairKind::Recompute => self.stats.recompute_fallbacks += 1,
+                RepairKind::Activation => self.stats.activations += 1,
+            }
+            self.stats.verifications += batch_work.verifications;
+            if batch_work.delta.is_empty() {
+                continue;
+            }
+            self.stats.deltas_emitted += 1;
+            // Push to subscribers, dropping the ones that hung up.
+            entry
+                .subscribers
+                .retain(|tx| tx.send(batch_work.delta.clone()).is_ok());
+            outcome.deltas.push(batch_work.delta);
+        }
+        outcome
+    }
+
+    /// Folds the graph's CSR delta overlay back into its base arrays at a
+    /// quiesce point (see `DataGraph::compact`). Never needed for
+    /// correctness.
+    pub fn compact_graph(&mut self) {
+        self.graph.compact();
+    }
+}
+
+/// Brings one query's state up to date against the already-maintained
+/// matrix and parks the resulting delta in the entry's pending slot. Runs
+/// inside the fan-out region, so everything here must be deterministic —
+/// the state build and repair are bit-identical at any thread count, and
+/// the per-query executor is sequential (the batch-level fan-out is the
+/// parallelism).
+fn repair_entry(
+    entry: &mut QueryEntry,
+    graph: &DataGraph,
+    matrix: &DistanceMatrix,
+    aff1: &AffectedPairs,
+    epoch: u64,
+) {
+    let seq = Executor::sequential();
+    let (kind, verifications) = match entry.state.as_mut() {
+        None => {
+            entry.state = Some(MatchState::initialise_with(
+                &entry.pattern,
+                graph,
+                matrix,
+                &seq,
+            ));
+            (RepairKind::Activation, 0)
+        }
+        Some(state) => match repair_match_state(&entry.pattern, matrix, state, aff1) {
+            Ok(out) => (RepairKind::Incremental, out.verifications),
+            Err(GraphError::PatternNotAcyclic) => {
+                // Cyclic pattern with distance decreases: rebuild this
+                // query's state; the shared matrix is already correct.
+                *state = MatchState::initialise_with(&entry.pattern, graph, matrix, &seq);
+                (RepairKind::Recompute, 0)
+            }
+            Err(e) => unreachable!("repair cannot fail otherwise: {e}"),
+        },
+    };
+    let visible = entry
+        .state
+        .as_ref()
+        .expect("state materialised above")
+        .relation();
+    let delta = MatchDelta::between(entry.id, epoch, &entry.emitted, &visible);
+    entry.emitted = visible;
+    entry.pending = Some(BatchWork {
+        delta,
+        kind,
+        verifications,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_core::bounded_simulation_with_oracle;
+    use gpm_datagen::{
+        generate_pattern, random_graph, random_updates, PatternGenConfig, RandomGraphConfig,
+        UpdateStreamConfig,
+    };
+    use gpm_graph::{PatternGraphBuilder, Predicate};
+
+    fn dag_pattern(labels: [&str; 3]) -> PatternGraph {
+        let (p, _) = PatternGraphBuilder::new()
+            .node("x", Predicate::label(labels[0]))
+            .node("y", Predicate::label(labels[1]))
+            .node("z", Predicate::label(labels[2]))
+            .edge("x", "y", 2u32)
+            .edge("y", "z", 3u32)
+            .build()
+            .unwrap();
+        p
+    }
+
+    fn cyclic_pattern() -> PatternGraph {
+        let (p, _) = PatternGraphBuilder::new()
+            .node("x", Predicate::label("a0"))
+            .node("y", Predicate::label("a1"))
+            .edge("x", "y", 2u32)
+            .edge("y", "x", 2u32)
+            .build()
+            .unwrap();
+        p
+    }
+
+    fn assert_consistent(svc: &mut MatchService, ids: &[QueryId]) {
+        for &id in ids {
+            let Some(result) = svc.result(id) else {
+                continue;
+            };
+            let pattern = svc.catalog().get(id).unwrap().pattern().clone();
+            let recomputed = bounded_simulation_with_oracle(&pattern, svc.graph(), svc.matrix());
+            assert_eq!(result, recomputed.relation, "query {id} diverged");
+        }
+    }
+
+    #[test]
+    fn shared_aff_is_computed_once_per_batch() {
+        let g = random_graph(&RandomGraphConfig::new(40, 100, 5).with_seed(1));
+        let mut svc = MatchService::new(g);
+        let ids: Vec<QueryId> = (0..4)
+            .map(|i| {
+                svc.register(dag_pattern([
+                    &format!("a{i}"),
+                    &format!("a{}", (i + 1) % 5),
+                    &format!("a{}", (i + 2) % 5),
+                ]))
+            })
+            .collect();
+
+        for round in 0..5u64 {
+            let updates = random_updates(
+                svc.graph(),
+                &UpdateStreamConfig::mixed(15).with_seed(round + 10),
+            );
+            svc.apply(&updates);
+            assert_consistent(&mut svc, &ids);
+        }
+        // 5 batches, 4 queries: 5 shared AFF computations, not 20.
+        assert_eq!(svc.stats().aff_computations, 5);
+        assert_eq!(svc.stats().batches, 5);
+        assert_eq!(svc.stats().repairs, 20);
+        assert_eq!(svc.stats().recompute_fallbacks, 0);
+
+        // The maintained matrix equals a from-scratch rebuild.
+        assert_eq!(svc.matrix(), &DistanceMatrix::build(svc.graph()));
+    }
+
+    #[test]
+    fn cyclic_patterns_fall_back_only_on_decreases() {
+        let g = random_graph(&RandomGraphConfig::new(30, 80, 4).with_seed(2));
+        let mut svc = MatchService::new(g);
+        let q = svc.register(cyclic_pattern());
+
+        // Deletion-only batch: incremental even for the cyclic pattern.
+        let dels = random_updates(svc.graph(), &UpdateStreamConfig::deletions(8).with_seed(3));
+        svc.apply(&dels);
+        assert_eq!(svc.stats().recompute_fallbacks, 0);
+        assert_eq!(svc.stats().repairs, 1);
+        assert_consistent(&mut svc, &[q]);
+
+        // Insertions decrease distances: recompute fallback.
+        let ins = random_updates(svc.graph(), &UpdateStreamConfig::insertions(8).with_seed(4));
+        svc.apply(&ins);
+        assert_eq!(svc.stats().recompute_fallbacks, 1);
+        assert_consistent(&mut svc, &[q]);
+    }
+
+    #[test]
+    fn deltas_fold_to_the_result() {
+        let g = random_graph(&RandomGraphConfig::new(40, 90, 4).with_seed(5));
+        let mut svc = MatchService::new(g);
+        let q = svc.register(dag_pattern(["a0", "a1", "a2"]));
+        let sub = svc.subscribe(q).unwrap();
+
+        for round in 0..6u64 {
+            let updates = random_updates(
+                svc.graph(),
+                &UpdateStreamConfig::mixed(12).with_seed(round * 7 + 1),
+            );
+            svc.apply(&updates);
+        }
+        let deltas = sub.drain();
+        let folded = crate::delta::fold_deltas(3, deltas.iter());
+        assert_eq!(folded, svc.result(q).unwrap());
+        // Epochs are non-decreasing and start with the snapshot.
+        assert!(deltas.windows(2).all(|w| w[0].epoch <= w[1].epoch));
+        assert_eq!(deltas[0].epoch, 0);
+    }
+
+    #[test]
+    fn suspend_resume_reconciles_subscribers() {
+        let g = random_graph(&RandomGraphConfig::new(40, 90, 4).with_seed(6));
+        let mut svc = MatchService::new(g);
+        let q = svc.register(dag_pattern(["a0", "a1", "a2"]));
+        let sub = svc.subscribe(q).unwrap();
+
+        svc.suspend(q);
+        assert!(svc.result(q).is_none(), "suspended queries answer None");
+        for round in 0..4u64 {
+            let updates = random_updates(
+                svc.graph(),
+                &UpdateStreamConfig::mixed(10).with_seed(round + 40),
+            );
+            svc.apply(&updates);
+        }
+        let while_suspended = svc.stats().clone();
+        assert_eq!(
+            while_suspended.repairs, 0,
+            "suspended queries pay no repair cost"
+        );
+
+        svc.resume(q);
+        // Still lazy: nothing rebuilt until the next batch or result read.
+        assert!(!svc.catalog().get(q).unwrap().has_state());
+        svc.apply(&[]);
+        assert_eq!(svc.stats().activations, 1);
+
+        // The subscriber's fold agrees with the live result after catch-up.
+        let folded = crate::delta::fold_deltas(3, sub.drain().iter());
+        assert_eq!(folded, svc.result(q).unwrap());
+        assert_consistent(&mut svc, &[q]);
+    }
+
+    /// A `result()` read — without any intervening batch — must also
+    /// reconcile subscribers when it materialises a lazily-resumed state.
+    #[test]
+    fn result_read_after_resume_emits_catchup_delta() {
+        let g = random_graph(&RandomGraphConfig::new(40, 90, 4).with_seed(31));
+        let mut svc = MatchService::new(g);
+        let q = svc.register(dag_pattern(["a0", "a1", "a2"]));
+        let sub = svc.subscribe(q).unwrap();
+
+        svc.suspend(q);
+        for round in 0..4u64 {
+            let updates = random_updates(
+                svc.graph(),
+                &UpdateStreamConfig::mixed(12).with_seed(round + 60),
+            );
+            svc.apply(&updates);
+        }
+        svc.resume(q);
+
+        // No apply() after resume: the read itself reconciles.
+        let live = svc.result(q).unwrap();
+        assert_eq!(svc.stats().activations, 1);
+        let folded = crate::delta::fold_deltas(3, sub.drain().iter());
+        assert_eq!(folded, live, "catch-up delta must flow from result()");
+        // The reconciliation is idempotent: another read emits nothing new.
+        let _ = svc.result(q);
+        assert!(sub.drain().is_empty());
+    }
+
+    /// Empty batches skip the fan-out entirely for up-to-date queries.
+    #[test]
+    fn empty_batch_skips_repair_for_live_queries() {
+        let g = random_graph(&RandomGraphConfig::new(25, 60, 3).with_seed(33));
+        let mut svc = MatchService::new(g);
+        let _q = svc.register(dag_pattern(["a0", "a1", "a2"]));
+        svc.apply(&[]);
+        assert_eq!(svc.stats().repairs, 0, "no-op batch must not count repairs");
+        assert_eq!(svc.stats().verifications, 0);
+    }
+
+    #[test]
+    fn deregister_closes_subscriptions_and_stops_deltas() {
+        let g = random_graph(&RandomGraphConfig::new(30, 70, 4).with_seed(7));
+        let mut svc = MatchService::new(g);
+        let q = svc.register(dag_pattern(["a0", "a1", "a2"]));
+        let keep = svc.register(dag_pattern(["a1", "a2", "a3"]));
+        let sub = svc.subscribe(q).unwrap();
+        assert!(svc.deregister(q));
+        assert!(svc.result(q).is_none());
+        assert!(svc.subscribe(q).is_none());
+
+        let updates = random_updates(svc.graph(), &UpdateStreamConfig::mixed(10).with_seed(8));
+        let out = svc.apply(&updates);
+        assert!(out.deltas.iter().all(|d| d.query != q));
+        // Only the snapshot was delivered before deregistration.
+        assert!(sub.drain().iter().all(|d| d.epoch == 0));
+        assert_consistent(&mut svc, &[keep]);
+    }
+
+    #[test]
+    fn dropped_subscriber_is_pruned() {
+        let g = random_graph(&RandomGraphConfig::new(30, 70, 4).with_seed(9));
+        let mut svc = MatchService::new(g);
+        let q = svc.register(dag_pattern(["a0", "a1", "a2"]));
+        let sub = svc.subscribe(q).unwrap();
+        drop(sub);
+        // A batch that changes the result prunes the dead channel.
+        for round in 0..4u64 {
+            let updates = random_updates(
+                svc.graph(),
+                &UpdateStreamConfig::mixed(12).with_seed(round + 80),
+            );
+            svc.apply(&updates);
+        }
+        assert!(
+            svc.catalog().get(q).unwrap().subscribers.is_empty() || svc.stats().deltas_emitted == 0
+        );
+    }
+
+    #[test]
+    fn generated_patterns_stay_consistent_under_churn() {
+        let g = random_graph(&RandomGraphConfig::new(50, 130, 5).with_seed(11));
+        let mut svc = MatchService::new(g);
+        let mut ids = Vec::new();
+        for i in 0..6u64 {
+            let (p, _) = generate_pattern(
+                svc.graph(),
+                &PatternGenConfig::new(3, 3, 3).with_seed(i * 17 + 1),
+            );
+            ids.push(svc.register(p));
+        }
+        for round in 0..4u64 {
+            let updates = random_updates(
+                svc.graph(),
+                &UpdateStreamConfig::mixed(20).with_seed(round * 5 + 2),
+            );
+            svc.apply(&updates);
+            assert_consistent(&mut svc, &ids);
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_cheap_and_emits_nothing() {
+        let g = random_graph(&RandomGraphConfig::new(20, 40, 3).with_seed(12));
+        let mut svc = MatchService::new(g);
+        let _q = svc.register(dag_pattern(["a0", "a1", "a2"]));
+        let out = svc.apply(&[]);
+        assert_eq!(out.applied, 0);
+        assert_eq!(out.aff1, 0);
+        assert!(out.deltas.is_empty());
+        assert_eq!(svc.stats().aff_computations, 0);
+        assert_eq!(out.epoch, 1);
+    }
+}

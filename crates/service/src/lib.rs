@@ -1,0 +1,77 @@
+//! # gpm-service
+//!
+//! A continuous multi-pattern matching service: many standing
+//! bounded-simulation queries over **one** evolving data graph, maintained
+//! incrementally with shared state.
+//!
+//! The paper's incremental results (`Match−`/`Match+`/`IncMatch`, Section 4)
+//! maintain *one* pattern per graph. Production graph workloads register
+//! many patterns against the same graph and stream updates continuously;
+//! recomputing — or even incrementally maintaining — each query in isolation
+//! repeats the expensive shared work (distance maintenance, affected-area
+//! computation) once per query. This crate multiplexes instead:
+//!
+//! * [`MatchService`] owns one [`gpm_graph::DataGraph`] and one
+//!   [`gpm_distance::DistanceMatrix`] shared by every registered query;
+//! * each update batch runs `UpdateBM` **once**, producing one shared
+//!   `AFF1`; every active query then repairs its own
+//!   [`gpm_incremental::MatchState`] from that `AFF1`
+//!   ([`gpm_incremental::repair_match_state`]), fanned out across the
+//!   `gpm-exec` work-stealing executor;
+//! * results leave the service as per-query [`MatchDelta`]s — the pairs
+//!   entering and leaving each query's visible result — through pull
+//!   ([`MatchService::apply`]'s [`BatchOutcome`]) and push
+//!   ([`Subscription`]) channels, emitted in registration order so streams
+//!   are bit-identical at any thread count;
+//! * the [`QueryCatalog`] supports deregistration and **lazy
+//!   (re)activation**: suspended queries cost nothing per batch and are
+//!   rebuilt on demand, with a catch-up delta reconciling their
+//!   subscribers.
+//!
+//! With `K` registered queries and `U` update batches the service performs
+//! `U` affected-area computations where `K` independent
+//! [`gpm_incremental::IncrementalMatcher`]s perform `K·U` — the
+//! amortisation the `svc_continuous` experiment measures.
+//!
+//! ## Example
+//!
+//! ```
+//! use gpm_graph::{DataGraphBuilder, PatternGraphBuilder};
+//! use gpm_distance::EdgeUpdate;
+//! use gpm_service::{fold_deltas, MatchService};
+//!
+//! let (g, ids) = DataGraphBuilder::new()
+//!     .labeled_node("fraudster")
+//!     .labeled_node("mule")
+//!     .labeled_node("account")
+//!     .edge("fraudster", "mule")
+//!     .build()
+//!     .unwrap();
+//!
+//! let (ring, _) = PatternGraphBuilder::new()
+//!     .labeled_node("fraudster")
+//!     .labeled_node("account")
+//!     .edge("fraudster", "account", 2u32)
+//!     .build()
+//!     .unwrap();
+//!
+//! let mut svc = MatchService::new(g);
+//! let q = svc.register(ring);
+//! let sub = svc.subscribe(q).unwrap();
+//!
+//! // A new money trail completes the pattern: subscribers see the delta.
+//! svc.apply(&[EdgeUpdate::Insert(ids["mule"], ids["account"])]);
+//! let stream = sub.drain();
+//! assert_eq!(fold_deltas(2, stream.iter()), svc.result(q).unwrap());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod delta;
+pub mod engine;
+
+pub use catalog::{QueryCatalog, QueryEntry, RepairKind};
+pub use delta::{fold_deltas, MatchDelta, QueryId, Subscription};
+pub use engine::{BatchOutcome, MatchService, ServiceStats};

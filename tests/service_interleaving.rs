@@ -1,0 +1,238 @@
+//! Multi-query interleaving fuzz: randomized register / deregister /
+//! suspend / resume / update schedules against K concurrent queries.
+//!
+//! Invariant (the service's correctness gate, extending the
+//! `incremental_consistency` suite to the multi-query engine): after every
+//! operation, each live query's result equals a from-scratch `Match` on the
+//! service's current graph, and every subscription's folded delta stream
+//! equals the live result it follows.
+
+use gpm::{
+    bounded_simulation_with_oracle, fold_deltas, generate_pattern, random_updates, DataGraph,
+    DistanceMatrix, EdgeUpdate, MatchService, PatternGenConfig, PatternGraph, QueryId,
+    Subscription, UpdateStreamConfig,
+};
+use gpm::{datagen::powerlaw_graph, datagen::PowerLawConfig};
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng as _};
+
+fn labelled_graph(nodes: usize, edges: usize, labels: usize, seed: u64) -> DataGraph {
+    let mut g = powerlaw_graph(&PowerLawConfig::new(nodes, edges).with_seed(seed));
+    for v in 0..g.node_count() {
+        let label = format!("a{}", v % labels);
+        g.attributes_mut(gpm::NodeId::new(v as u32))
+            .set("label", label);
+    }
+    g
+}
+
+/// One tracked query: the registered pattern, a subscription following it,
+/// and whether the schedule currently has it suspended.
+struct Tracked {
+    id: QueryId,
+    pattern: PatternGraph,
+    sub: Subscription,
+    suspended: bool,
+}
+
+fn check_live_queries(svc: &mut MatchService, tracked: &[Tracked], context: &str) {
+    let rebuilt = DistanceMatrix::build(svc.graph());
+    assert_eq!(svc.matrix(), &rebuilt, "matrix diverged {context}");
+    for t in tracked {
+        if t.suspended {
+            assert!(
+                svc.result(t.id).is_none(),
+                "suspended query {} answered {context}",
+                t.id
+            );
+            continue;
+        }
+        let live = svc.result(t.id).unwrap();
+        let recomputed = bounded_simulation_with_oracle(&t.pattern, svc.graph(), &rebuilt);
+        assert_eq!(
+            live, recomputed.relation,
+            "query {} diverged {context}",
+            t.id
+        );
+    }
+}
+
+/// Runs one random schedule; `seed` drives everything.
+fn run_schedule(seed: u64, ops: usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = labelled_graph(40, 110, 4, seed);
+    let mut svc = MatchService::new(g.clone());
+    let mut tracked: Vec<Tracked> = Vec::new();
+    let mut round = 0u64;
+
+    // Seed the catalog with K = 4 queries so batches always fan out.
+    for i in 0..4u64 {
+        let (p, _) = generate_pattern(
+            svc.graph(),
+            &PatternGenConfig::new(3, 3, 3).with_seed(seed * 7 + i),
+        );
+        let id = svc.register(p.clone());
+        let sub = svc.subscribe(id).unwrap();
+        tracked.push(Tracked {
+            id,
+            pattern: p,
+            sub,
+            suspended: false,
+        });
+    }
+
+    for op in 0..ops {
+        round += 1;
+        match rng.gen_range(0..10u32) {
+            // Register a fresh query (keep the catalog bounded).
+            0 if tracked.len() < 8 => {
+                let (p, _) = generate_pattern(
+                    svc.graph(),
+                    &PatternGenConfig::new(3, 3, 3).with_seed(seed * 31 + round),
+                );
+                let id = svc.register(p.clone());
+                let sub = svc.subscribe(id).unwrap();
+                tracked.push(Tracked {
+                    id,
+                    pattern: p,
+                    sub,
+                    suspended: false,
+                });
+            }
+            // Deregister a random query (keep at least two).
+            1 if tracked.len() > 2 => {
+                let victim = tracked.swap_remove(rng.gen_range(0..tracked.len()));
+                assert!(svc.deregister(victim.id));
+                assert!(svc.result(victim.id).is_none());
+            }
+            // Suspend / resume.
+            2 => {
+                let pick = rng.gen_range(0..tracked.len());
+                let t = &mut tracked[pick];
+                if t.suspended {
+                    assert!(svc.resume(t.id));
+                    t.suspended = false;
+                } else {
+                    assert!(svc.suspend(t.id));
+                    t.suspended = true;
+                }
+            }
+            // Unit insert/delete.
+            3 | 4 => {
+                let updates = random_updates(
+                    svc.graph(),
+                    &UpdateStreamConfig::mixed(1).with_seed(seed * 101 + round),
+                );
+                if let Some(u) = updates.first() {
+                    svc.apply_one(*u);
+                }
+            }
+            // Mixed batch.
+            _ => {
+                let n = rng.gen_range(3..15usize);
+                let updates = random_updates(
+                    svc.graph(),
+                    &UpdateStreamConfig::mixed(n).with_seed(seed * 131 + round),
+                );
+                svc.apply(&updates);
+            }
+        }
+        check_live_queries(&mut svc, &tracked, &format!("after op {op} (seed {seed})"));
+    }
+
+    // Wake every suspended query and reconcile: after one (even empty)
+    // batch, every subscription's folded stream equals the live result.
+    for t in &mut tracked {
+        if t.suspended {
+            svc.resume(t.id);
+            t.suspended = false;
+        }
+    }
+    svc.apply(&[]);
+    check_live_queries(
+        &mut svc,
+        &tracked,
+        &format!("after final wake (seed {seed})"),
+    );
+    for t in &tracked {
+        let folded = fold_deltas(t.pattern.node_count(), t.sub.drain().iter());
+        assert_eq!(
+            folded,
+            svc.result(t.id).unwrap(),
+            "subscription fold diverged for {} (seed {seed})",
+            t.id
+        );
+    }
+}
+
+#[test]
+fn random_schedules_keep_every_query_consistent() {
+    for seed in 0..8u64 {
+        run_schedule(seed, 18);
+    }
+}
+
+#[test]
+fn long_schedule_with_churn() {
+    run_schedule(0xC0FFEE, 40);
+}
+
+/// Deletion of a query mid-stream must not disturb the survivors, and
+/// re-registering the same pattern starts a fresh, consistent query.
+#[test]
+fn deregister_and_reregister_same_pattern() {
+    let g = labelled_graph(35, 90, 4, 77);
+    let mut svc = MatchService::new(g.clone());
+    let (p, _) = generate_pattern(&g, &PatternGenConfig::new(3, 3, 3).with_seed(5));
+    let first = svc.register(p.clone());
+    let keeper = {
+        let (p2, _) = generate_pattern(&g, &PatternGenConfig::new(3, 3, 3).with_seed(6));
+        svc.register(p2)
+    };
+
+    let updates = random_updates(&g, &UpdateStreamConfig::mixed(10).with_seed(7));
+    svc.apply(&updates);
+    svc.deregister(first);
+
+    let more = random_updates(svc.graph(), &UpdateStreamConfig::mixed(10).with_seed(8));
+    svc.apply(&more);
+
+    let second = svc.register(p.clone());
+    assert!(second > first, "ids are never reused");
+    let rebuilt = DistanceMatrix::build(svc.graph());
+    for id in [keeper, second] {
+        let live = svc.result(id).unwrap();
+        let pattern = svc.catalog().get(id).unwrap().pattern().clone();
+        let recomputed = bounded_simulation_with_oracle(&pattern, svc.graph(), &rebuilt);
+        assert_eq!(live, recomputed.relation);
+    }
+}
+
+/// Edge-case schedules: updates on an empty catalog, duplicate inserts,
+/// deletes of missing edges, and unknown-node updates are all absorbed.
+#[test]
+fn degenerate_schedules_are_absorbed() {
+    let g = labelled_graph(20, 50, 3, 9);
+    let mut svc = MatchService::new(g.clone());
+
+    // No queries registered: updates still maintain graph + matrix.
+    let updates = random_updates(&g, &UpdateStreamConfig::mixed(8).with_seed(10));
+    let out = svc.apply(&updates);
+    assert!(out.deltas.is_empty());
+    assert_eq!(svc.matrix(), &DistanceMatrix::build(svc.graph()));
+
+    // A batch of pure no-ops: duplicate insert, missing delete, unknown node.
+    let (a, b) = svc.graph().edges().next().unwrap();
+    let missing = gpm::NodeId::new(svc.graph().node_count() as u32 + 5);
+    let (p, _) = generate_pattern(svc.graph(), &PatternGenConfig::new(3, 3, 3).with_seed(11));
+    let q = svc.register(p);
+    let before = svc.result(q).unwrap();
+    let out = svc.apply(&[
+        EdgeUpdate::Insert(a, b),
+        EdgeUpdate::Delete(missing, a),
+        EdgeUpdate::Insert(missing, missing),
+    ]);
+    assert_eq!(out.applied, 0);
+    assert!(out.deltas.is_empty());
+    assert_eq!(svc.result(q).unwrap(), before);
+}
