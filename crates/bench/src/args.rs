@@ -1,10 +1,10 @@
 //! Minimal command-line argument handling shared by the experiment binaries.
 //!
-//! Only six flags are needed (`--scale`, `--seed`, `--patterns`,
-//! `--threads`, `--dataset-dir`, `--dataset`), so a tiny hand-rolled parser
-//! keeps the harness free of CLI dependencies.
+//! Only a handful of flags are needed (`--scale`, `--seed`, `--patterns`,
+//! `--threads`, `--oracle`, `--dataset-dir`, `--dataset`), so a tiny
+//! hand-rolled parser keeps the harness free of CLI dependencies.
 
-use gpm::{Dataset, DatasetSource, Parallelism};
+use gpm::{Dataset, DatasetSource, OracleBackend, Parallelism};
 use std::path::PathBuf;
 
 /// Common harness arguments.
@@ -20,6 +20,10 @@ pub struct HarnessArgs {
     /// `GPM_THREADS` or all available cores). Lets the Fig. 6(f)–(h)
     /// experiments sweep 1→8 cores from the command line.
     pub threads: usize,
+    /// The distance backend every matcher/service in the experiment runs on
+    /// (`--oracle matrix|two-hop`; defaults to the `GPM_ORACLE` environment
+    /// variable, i.e. `matrix` when unset).
+    pub oracle: OracleBackend,
     /// Directory of on-disk datasets (`<name>.edges` + optional
     /// `<name>.attrs`, see `gpm::graph::dataset`). When set, experiments run
     /// on the real files instead of the synthetic stand-ins.
@@ -42,6 +46,7 @@ impl Default for HarnessArgs {
             seed: 2010,
             patterns: 5,
             threads: 0,
+            oracle: OracleBackend::from_env(),
             dataset_dir: None,
             dataset: None,
             cutoff_ms: 2_000,
@@ -81,6 +86,10 @@ impl HarnessArgs {
                         .parse()
                         .map_err(|e| format!("invalid --threads: {e}"))?;
                 }
+                "--oracle" => {
+                    out.oracle = OracleBackend::parse(&take_value("--oracle")?)
+                        .map_err(|e| format!("invalid --oracle: {e}"))?;
+                }
                 "--dataset-dir" => {
                     out.dataset_dir = Some(PathBuf::from(take_value("--dataset-dir")?));
                 }
@@ -95,8 +104,8 @@ impl HarnessArgs {
                 "--help" | "-h" => {
                     return Err(
                         "usage: <experiment> [--scale <f>] [--seed <n>] [--patterns <n>] \
-                         [--threads <n>] [--dataset-dir <path>] [--dataset <name>] \
-                         [--cutoff-ms <n>]"
+                         [--threads <n>] [--oracle matrix|two-hop] [--dataset-dir <path>] \
+                         [--dataset <name>] [--cutoff-ms <n>]"
                             .to_string(),
                     )
                 }
@@ -116,9 +125,17 @@ impl HarnessArgs {
     }
 
     /// Parses the process arguments, exiting with a message on error.
+    ///
+    /// Propagates the selected backend to `GPM_ORACLE`, so every entry point
+    /// that defaults to [`OracleBackend::from_env`] — `MatchService::new`,
+    /// `IncrementalMatcher::new`, `bounded_simulation` — honours the
+    /// `--oracle` flag without threading the value through every call site.
     pub fn from_env() -> Self {
         match Self::parse_from(std::env::args().skip(1)) {
-            Ok(args) => args,
+            Ok(args) => {
+                std::env::set_var("GPM_ORACLE", args.oracle.name());
+                args
+            }
             Err(msg) => {
                 eprintln!("{msg}");
                 std::process::exit(2);
@@ -251,6 +268,8 @@ mod tests {
             "20",
             "--threads",
             "4",
+            "--oracle",
+            "two-hop",
             "--dataset-dir",
             "fixtures",
             "--dataset",
@@ -264,6 +283,7 @@ mod tests {
         assert_eq!(a.patterns, 20);
         assert_eq!(a.threads, 4);
         assert_eq!(a.parallelism().threads(), 4);
+        assert_eq!(a.oracle, OracleBackend::TwoHop);
         assert_eq!(a.dataset_dir.as_deref(), Some(Path::new("fixtures")));
         assert_eq!(a.dataset.as_deref(), Some("mini-youtube"));
         assert_eq!(a.cutoff_ms, 750);
@@ -283,6 +303,8 @@ mod tests {
         assert!(parse(&["--scale", "-1"]).is_err());
         assert!(parse(&["--patterns", "0"]).is_err());
         assert!(parse(&["--threads", "x"]).is_err());
+        assert!(parse(&["--oracle"]).is_err());
+        assert!(parse(&["--oracle", "bfs"]).is_err());
         assert!(parse(&["--dataset-dir"]).is_err());
         assert!(parse(&["--dataset"]).is_err());
         assert!(parse(&["--cutoff-ms", "0"]).is_err());

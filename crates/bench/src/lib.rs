@@ -18,6 +18,10 @@
 //!   (0 = process default, i.e. `GPM_THREADS` or all available cores);
 //!   running `exp_fig6fgh_scalability` at 1, 2, 4, 8 sweeps the core-scaling
 //!   curves;
+//! * `--oracle matrix|two-hop` — the distance backend every matcher and
+//!   service runs on (default `GPM_ORACLE`, i.e. the paper's matrix when
+//!   unset); the parsed value is propagated back to `GPM_ORACLE` so it
+//!   reaches every library entry point;
 //! * `--dataset-dir <path>` / `--dataset <name>` — run on real on-disk
 //!   datasets (`<name>.edges` SNAP edge list + optional `<name>.attrs`
 //!   typed attribute CSV, see `gpm::graph::dataset`) instead of the
@@ -39,6 +43,7 @@
 //! | Fig. 9 | `exp_fig9_vary_bound` |
 //! | `\|AFF\|`, `\|Gr\|` stats (Section 5) | `exp_stats_aff_gr` |
 //! | service layer (beyond the paper) | `svc_continuous` — shared-AFF amortisation of `gpm-service` vs independent matchers |
+//! | oracle scaling (beyond the paper) | `exp_oracle_scale` — match + update a Fig. 6-class graph on the 2-hop backend where the `\|V\|²` matrix cannot allocate |
 //!
 //! See BENCHMARKS.md at the repository root for the measurement protocol and
 //! the recorded result batches.

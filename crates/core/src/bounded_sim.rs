@@ -23,7 +23,7 @@
 //!   the same `O(|E_p||V|²)` propagation the paper obtains with `premv`.
 
 use crate::match_relation::MatchRelation;
-use gpm_distance::{DistanceMatrix, DistanceOracle};
+use gpm_distance::{DistanceOracle, OracleBackend};
 use gpm_exec::Executor;
 use gpm_graph::{DataGraph, NodeId, PatternGraph, PatternNodeId};
 
@@ -58,26 +58,29 @@ impl MatchOutcome {
     }
 }
 
-/// Runs `Match` with a freshly built distance matrix.
+/// Runs `Match` with a freshly built distance backend.
 ///
-/// This is the convenience entry point; use
-/// [`bounded_simulation_with_oracle`] to reuse a prebuilt matrix (the paper
-/// computes `M` once and shares it across patterns) or to select the BFS /
-/// 2-hop variants. Both the matrix construction and the refinement run on
-/// the process-default [`gpm_exec::Parallelism`] policy (all available cores, or
-/// `GPM_THREADS`); see [`bounded_simulation_on`] to choose explicitly.
+/// The backend is selected by the `GPM_ORACLE` environment variable via
+/// [`OracleBackend::from_env`] (the paper's distance matrix by default).
+/// Use [`bounded_simulation_with_oracle`] to reuse a prebuilt oracle (the
+/// paper computes `M` once and shares it across patterns) or to pick a
+/// specific variant programmatically. Both the oracle construction and the
+/// refinement run on the process-default [`gpm_exec::Parallelism`] policy
+/// (all available cores, or `GPM_THREADS`); see [`bounded_simulation_on`]
+/// to choose explicitly.
 pub fn bounded_simulation(pattern: &PatternGraph, graph: &DataGraph) -> MatchOutcome {
     bounded_simulation_on(pattern, graph, &Executor::from_env())
 }
 
-/// Runs `Match` (matrix construction included) on an explicit executor.
+/// Runs `Match` (env-selected oracle construction included) on an explicit
+/// executor.
 pub fn bounded_simulation_on(
     pattern: &PatternGraph,
     graph: &DataGraph,
     exec: &Executor,
 ) -> MatchOutcome {
-    let matrix = DistanceMatrix::build_with(graph, exec);
-    bounded_simulation_with_oracle_on(pattern, graph, &matrix, exec)
+    let oracle = OracleBackend::from_env().build(graph, exec);
+    bounded_simulation_with_oracle_on(pattern, graph, oracle.as_ref(), exec)
 }
 
 /// Runs `Match` against an arbitrary [`DistanceOracle`] on the
@@ -347,7 +350,7 @@ fn chunk_range(ci: usize, chunk_len: usize, nv: usize) -> (usize, usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gpm_distance::{BfsOracle, TwoHopOracle};
+    use gpm_distance::{BfsOracle, DistanceMatrix, TwoHopOracle};
     use gpm_graph::{
         Attributes, CmpOp, DataGraphBuilder, EdgeBound, PatternGraphBuilder, Predicate,
     };

@@ -16,6 +16,9 @@
 //!   patterns);
 //! * [`updates`] — random edge insertion/deletion streams for the incremental
 //!   experiments (Figures 6(i)–(k));
+//! * [`adversarial`] — deterministic worst-case topologies (star, deep
+//!   chain, grid, cliques-with-bridges) and matching update scripts for
+//!   stress-testing the pluggable distance backends;
 //! * [`source`] — [`DatasetSource`], abstracting "generate a stand-in" vs
 //!   "load a real crawl from disk" for the experiment harness;
 //! * [`export`] — writes any generated graph as an on-disk
@@ -43,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversarial;
 pub mod datasets;
 pub mod export;
 pub mod pattern_gen;
@@ -51,6 +55,10 @@ pub mod random_graph;
 pub mod source;
 pub mod updates;
 
+pub use adversarial::{
+    cliques_with_bridges, cut_bridge_updates, cut_chain_updates, deep_chain, delete_hub_updates,
+    grid, star,
+};
 pub use datasets::{Dataset, DatasetSpec};
 pub use export::export_dataset;
 pub use pattern_gen::{generate_pattern, PatternGenConfig};

@@ -20,6 +20,11 @@
 //! incremental matching algorithms rely on: [`update_matrix`] (the paper's
 //! `UpdateM`, unit updates) and [`update_matrix_batch`] (`UpdateBM`, batch
 //! updates), both reporting the set of affected source–sink pairs (`AFF1`).
+//! The same maintenance surface is part of the [`DistanceOracle`] trait
+//! itself, with two maintainable implementations — [`DistanceMatrix`] and the
+//! sublinear-memory [`IncrementalTwoHop`] labeling — selected at runtime via
+//! [`OracleBackend`] (the `GPM_ORACLE` environment variable / `--oracle`
+//! flag).
 //!
 //! ## Non-empty distances
 //!
@@ -67,12 +72,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod bfs_oracle;
 pub mod incremental;
 pub mod matrix;
 pub mod oracle;
 pub mod two_hop;
+pub mod two_hop_inc;
 
+pub use backend::OracleBackend;
 pub use bfs_oracle::BfsOracle;
 pub use incremental::{
     update_matrix, update_matrix_batch, update_matrix_batch_with, update_matrix_with, AffectedPair,
@@ -81,6 +89,7 @@ pub use incremental::{
 pub use matrix::DistanceMatrix;
 pub use oracle::DistanceOracle;
 pub use two_hop::{TwoHopIndex, TwoHopOracle};
+pub use two_hop_inc::IncrementalTwoHop;
 
 /// Hop count representing "no path"; distances are stored as `u16` because
 /// no graph in this workload family has a diameter anywhere near 65k hops.

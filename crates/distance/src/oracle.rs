@@ -4,16 +4,66 @@
 //! [`DistanceOracle`], which lets Exp-2's three variants (distance matrix,
 //! on-demand BFS, 2-hop-filtered BFS) share one matching implementation and
 //! makes the ablation benches a one-liner.
+//!
+//! Since PR 6 the trait also carries the *incremental-maintenance* surface
+//! (`UpdateM`/`UpdateBM` semantics): a maintainable oracle can repair itself
+//! under edge insertions and deletions and report `AFF1`, the set of node
+//! pairs whose distance changed. This is what lets `IncrementalMatcher`,
+//! `inc_match_with` and `MatchService` run on any backend — the quadratic
+//! [`DistanceMatrix`] or the sublinear-memory
+//! [`crate::IncrementalTwoHop`] labeling — selected at runtime via
+//! [`crate::OracleBackend`].
 
+use crate::incremental::{AffectedPairs, EdgeUpdate};
 use crate::matrix::DistanceMatrix;
+use gpm_exec::Executor;
 use gpm_graph::{DataGraph, EdgeBound, NodeId};
 
-/// Answers non-empty shortest-path queries over a fixed data graph.
+/// Answers non-empty shortest-path queries over a fixed data graph, and —
+/// for maintainable back-ends — repairs itself under edge updates.
 ///
 /// Implementations may cache internally (hence `&self` methods may use
 /// interior mutability), but must stay consistent with the graph they were
 /// created for: mutating the graph invalidates the oracle unless the oracle
-/// documents otherwise.
+/// is *maintainable* ([`supports_incremental`](Self::supports_incremental)
+/// returns `true`) and is repaired through
+/// [`apply_insert`](Self::apply_insert) / [`apply_delete`](Self::apply_delete)
+/// / [`apply_batch`](Self::apply_batch) for every graph mutation.
+///
+/// # Incremental maintenance contract
+///
+/// The maintenance methods mirror the paper's `UpdateM`/`UpdateBM`: the graph
+/// passed in must **already reflect** the update(s), the oracle must reflect
+/// the graph **before** the update(s), and the returned
+/// [`AffectedPairs`] (`AFF1`) lists exactly the source–sink pairs whose
+/// non-empty distance changed, with old and new values.
+///
+/// # Example
+///
+/// Repairing a boxed oracle under an insertion instead of rebuilding it:
+///
+/// ```
+/// use gpm_distance::{DistanceMatrix, DistanceOracle};
+/// use gpm_exec::Executor;
+/// use gpm_graph::{DataGraph, NodeId};
+///
+/// let mut g = DataGraph::new();
+/// g.add_nodes(3);
+/// g.add_edge(NodeId::new(0), NodeId::new(1)).unwrap();
+/// let mut oracle: Box<dyn DistanceOracle + Send + Sync> =
+///     Box::new(DistanceMatrix::build(&g));
+/// assert!(oracle.supports_incremental());
+/// assert_eq!(oracle.nonempty_distance(&g, NodeId::new(0), NodeId::new(2)), None);
+///
+/// // Mutate the graph first, then repair the oracle and inspect AFF1.
+/// g.add_edge(NodeId::new(1), NodeId::new(2)).unwrap();
+/// let exec = Executor::from_env();
+/// let aff1 = oracle.apply_insert(&g, NodeId::new(1), NodeId::new(2), &exec);
+/// assert!(aff1
+///     .iter()
+///     .any(|p| p.source == NodeId::new(0) && p.sink == NodeId::new(2) && !p.increased()));
+/// assert_eq!(oracle.nonempty_distance(&g, NodeId::new(0), NodeId::new(2)), Some(2));
+/// ```
 pub trait DistanceOracle {
     /// Length of the shortest **non-empty** path from `from` to `to`, or
     /// `None` if there is none.
@@ -33,6 +83,126 @@ pub trait DistanceOracle {
 
     /// A short label used in benchmark output ("matrix", "bfs", "2-hop"...).
     fn name(&self) -> &'static str;
+
+    /// Whether this oracle can be repaired in place under edge updates.
+    ///
+    /// When `false` (the default), the maintenance methods below panic; the
+    /// oracle is query-only and must be rebuilt after any graph mutation.
+    fn supports_incremental(&self) -> bool {
+        false
+    }
+
+    /// `UpdateM` for an insertion: repairs the oracle after the edge
+    /// `(from, to)` was added to `g` and returns `AFF1`.
+    ///
+    /// `g` must already contain the new edge.
+    ///
+    /// # Panics
+    ///
+    /// The default implementation panics: back-ends that return `false` from
+    /// [`supports_incremental`](Self::supports_incremental) do not maintain
+    /// themselves. Callers gate on that flag.
+    fn apply_insert(
+        &mut self,
+        _g: &DataGraph,
+        _from: NodeId,
+        _to: NodeId,
+        _exec: &Executor,
+    ) -> AffectedPairs {
+        panic!(
+            "distance oracle `{}` does not support incremental maintenance",
+            self.name()
+        );
+    }
+
+    /// `UpdateM` for a deletion: repairs the oracle after the edge
+    /// `(from, to)` was removed from `g` and returns `AFF1`.
+    ///
+    /// `g` must no longer contain the deleted edge.
+    ///
+    /// # Panics
+    ///
+    /// The default implementation panics, exactly as
+    /// [`apply_insert`](Self::apply_insert).
+    fn apply_delete(
+        &mut self,
+        _g: &DataGraph,
+        _from: NodeId,
+        _to: NodeId,
+        _exec: &Executor,
+    ) -> AffectedPairs {
+        panic!(
+            "distance oracle `{}` does not support incremental maintenance",
+            self.name()
+        );
+    }
+
+    /// `UpdateBM`: repairs the oracle after a **batch** of updates and
+    /// returns the combined `AFF1` (pairs whose distance differs between the
+    /// state before the first update and after the last one).
+    ///
+    /// `g` must reflect the state after the whole batch; `updates` lists the
+    /// updates in application order. No-op updates (duplicate inserts /
+    /// missing deletes) are skipped.
+    ///
+    /// The default implementation reconstructs each intermediate graph by
+    /// undoing the batch in reverse on a scratch copy and replays it unit by
+    /// unit through [`apply_insert`](Self::apply_insert) /
+    /// [`apply_delete`](Self::apply_delete), merging the per-unit `AFF1`s —
+    /// the exact semantics of `update_matrix_batch_with`.
+    fn apply_batch(
+        &mut self,
+        g: &DataGraph,
+        updates: &[EdgeUpdate],
+        exec: &Executor,
+    ) -> AffectedPairs {
+        let mut combined = AffectedPairs::default();
+        if updates.is_empty() {
+            return combined;
+        }
+        // Reconstruct the pre-batch graph by undoing the updates in reverse.
+        let mut scratch = g.clone();
+        for u in updates.iter().rev() {
+            u.inverse().apply(&mut scratch);
+        }
+        for u in updates {
+            if !u.apply(&mut scratch) {
+                continue; // no-op update (duplicate insert / missing delete)
+            }
+            let (from, to) = u.endpoints();
+            let aff = if u.is_insert() {
+                self.apply_insert(&scratch, from, to, exec)
+            } else {
+                self.apply_delete(&scratch, from, to, exec)
+            };
+            combined.merge(aff);
+        }
+        combined
+    }
+
+    /// How many updates degraded to a full index rebuild so far.
+    ///
+    /// Always `0` for back-ends whose repairs never fall back (the matrix)
+    /// and for query-only back-ends.
+    fn rebuilds(&self) -> usize {
+        0
+    }
+
+    /// Approximate resident size of the oracle in bytes (`0` = unknown).
+    fn memory_bytes(&self) -> usize {
+        0
+    }
+
+    /// A deep copy of this oracle as a boxed trait object, or `None` if the
+    /// backend is not cloneable.
+    ///
+    /// Owning facades that are themselves `Clone` (e.g. the benchmark
+    /// harness's `IncrementalMatcher`) duplicate their backend through this
+    /// hook; the two backends selectable via [`crate::OracleBackend`] both
+    /// support it.
+    fn clone_box(&self) -> Option<Box<dyn DistanceOracle + Send + Sync>> {
+        None
+    }
 }
 
 impl DistanceOracle for DistanceMatrix {
@@ -51,6 +221,47 @@ impl DistanceOracle for DistanceMatrix {
 
     fn name(&self) -> &'static str {
         "matrix"
+    }
+
+    fn supports_incremental(&self) -> bool {
+        true
+    }
+
+    fn apply_insert(
+        &mut self,
+        g: &DataGraph,
+        from: NodeId,
+        to: NodeId,
+        exec: &Executor,
+    ) -> AffectedPairs {
+        crate::incremental::update_matrix_with(g, self, EdgeUpdate::Insert(from, to), exec)
+    }
+
+    fn apply_delete(
+        &mut self,
+        g: &DataGraph,
+        from: NodeId,
+        to: NodeId,
+        exec: &Executor,
+    ) -> AffectedPairs {
+        crate::incremental::update_matrix_with(g, self, EdgeUpdate::Delete(from, to), exec)
+    }
+
+    fn apply_batch(
+        &mut self,
+        g: &DataGraph,
+        updates: &[EdgeUpdate],
+        exec: &Executor,
+    ) -> AffectedPairs {
+        crate::incremental::update_matrix_batch_with(g, self, updates, exec)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        DistanceMatrix::memory_bytes(self)
+    }
+
+    fn clone_box(&self) -> Option<Box<dyn DistanceOracle + Send + Sync>> {
+        Some(Box::new(self.clone()))
     }
 }
 
@@ -83,6 +294,9 @@ mod tests {
         assert!(oracle.within(&g, n(0), n(3), EdgeBound::Unbounded));
         assert!(!oracle.within(&g, n(3), n(0), EdgeBound::Unbounded));
         assert_eq!(oracle.name(), "matrix");
+        assert!(oracle.supports_incremental());
+        assert_eq!(oracle.rebuilds(), 0);
+        assert!(oracle.memory_bytes() > 0);
     }
 
     #[test]
@@ -103,5 +317,115 @@ mod tests {
         assert!(!w.within(&g, n(0), n(2), EdgeBound::Hops(1)));
         assert!(w.within(&g, n(0), n(2), EdgeBound::Unbounded));
         assert!(!w.within(&g, n(2), n(0), EdgeBound::Unbounded));
+        assert!(!w.supports_incremental());
+        assert_eq!(w.rebuilds(), 0);
+        assert_eq!(w.memory_bytes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support incremental maintenance")]
+    fn non_incremental_oracle_panics_on_maintenance() {
+        struct Fixed;
+        impl DistanceOracle for Fixed {
+            fn nonempty_distance(&self, _g: &DataGraph, _a: NodeId, _b: NodeId) -> Option<u32> {
+                None
+            }
+            fn name(&self) -> &'static str {
+                "fixed"
+            }
+        }
+        let mut g = line();
+        g.add_edge(n(3), n(0)).unwrap();
+        Fixed.apply_insert(&g, n(3), n(0), &Executor::sequential());
+    }
+
+    #[test]
+    fn matrix_maintenance_through_the_trait_matches_rebuild() {
+        let mut g = line();
+        let exec = Executor::sequential();
+        let mut oracle: Box<dyn DistanceOracle + Send + Sync> = Box::new(DistanceMatrix::build(&g));
+
+        g.add_edge(n(3), n(0)).unwrap();
+        let aff = oracle.apply_insert(&g, n(3), n(0), &exec);
+        assert!(!aff.is_empty());
+        let rebuilt = DistanceMatrix::build(&g);
+        for x in g.nodes() {
+            for y in g.nodes() {
+                assert_eq!(
+                    oracle.nonempty_distance(&g, x, y),
+                    rebuilt.nonempty_distance(x, y)
+                );
+            }
+        }
+
+        g.remove_edge(n(1), n(2)).unwrap();
+        let aff = oracle.apply_delete(&g, n(1), n(2), &exec);
+        assert!(!aff.is_empty());
+        let rebuilt = DistanceMatrix::build(&g);
+        for x in g.nodes() {
+            for y in g.nodes() {
+                assert_eq!(
+                    oracle.nonempty_distance(&g, x, y),
+                    rebuilt.nonempty_distance(x, y)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn default_apply_batch_replays_units() {
+        // A wrapper that delegates the *unit* methods only, so the batch goes
+        // through the trait's default inverse-replay implementation — its
+        // result must equal the matrix's native batch path.
+        struct UnitOnly(DistanceMatrix);
+        impl DistanceOracle for UnitOnly {
+            fn nonempty_distance(&self, _g: &DataGraph, a: NodeId, b: NodeId) -> Option<u32> {
+                self.0.nonempty_distance(a, b)
+            }
+            fn name(&self) -> &'static str {
+                "unit-only"
+            }
+            fn supports_incremental(&self) -> bool {
+                true
+            }
+            fn apply_insert(
+                &mut self,
+                g: &DataGraph,
+                from: NodeId,
+                to: NodeId,
+                exec: &Executor,
+            ) -> AffectedPairs {
+                self.0.apply_insert(g, from, to, exec)
+            }
+            fn apply_delete(
+                &mut self,
+                g: &DataGraph,
+                from: NodeId,
+                to: NodeId,
+                exec: &Executor,
+            ) -> AffectedPairs {
+                self.0.apply_delete(g, from, to, exec)
+            }
+        }
+
+        let exec = Executor::sequential();
+        let mut g = line();
+        let mut via_default = UnitOnly(DistanceMatrix::build(&g));
+        let mut native = DistanceMatrix::build(&g);
+        let updates = [
+            EdgeUpdate::Insert(n(3), n(0)),
+            EdgeUpdate::Delete(n(0), n(1)),
+            EdgeUpdate::Insert(n(0), n(2)),
+            EdgeUpdate::Delete(n(3), n(0)), // delete the edge inserted above
+            EdgeUpdate::Insert(n(0), n(2)), // duplicate: no-op
+        ];
+        for u in &updates {
+            u.apply(&mut g);
+        }
+        let aff_default = via_default.apply_batch(&g, &updates, &exec);
+        let aff_native = native.apply_batch(&g, &updates, &exec);
+        assert_eq!(aff_default, aff_native);
+        assert_eq!(via_default.0, native);
+        assert_eq!(native, DistanceMatrix::build(&g));
     }
 }

@@ -19,7 +19,7 @@ use gpm_graph::{DataGraph, NodeId};
 use std::collections::VecDeque;
 
 /// A hub label entry: `(hub rank, distance in hops)`.
-type LabelEntry = (u32, u16);
+pub(crate) type LabelEntry = (u32, u16);
 
 /// An exact 2-hop distance/reachability labeling of a data graph.
 ///
@@ -31,11 +31,11 @@ type LabelEntry = (u32, u16);
 #[derive(Clone, Debug)]
 pub struct TwoHopIndex {
     /// Outgoing hub labels per node, sorted by hub rank.
-    label_out: Vec<Vec<LabelEntry>>,
+    pub(crate) label_out: Vec<Vec<LabelEntry>>,
     /// Incoming hub labels per node, sorted by hub rank.
-    label_in: Vec<Vec<LabelEntry>>,
+    pub(crate) label_in: Vec<Vec<LabelEntry>>,
     /// Non-empty distance from each node to itself (shortest cycle length).
-    diagonal: Vec<u16>,
+    pub(crate) diagonal: Vec<u16>,
 }
 
 impl TwoHopIndex {
@@ -117,7 +117,9 @@ impl TwoHopIndex {
                         idx.standard_distance_raw(s, v)
                     };
                     if d != UNREACHABLE {
-                        best = best.min(d.saturating_add(1));
+                        // Clamp: a saturated-but-finite cycle length must not
+                        // collide with the UNREACHABLE (∅) sentinel.
+                        best = best.min(d.saturating_add(1).min(UNREACHABLE - 1));
                     }
                 }
                 best
@@ -172,17 +174,31 @@ impl TwoHopIndex {
         self.label_entries() as f64 / self.label_out.len() as f64
     }
 
-    fn standard_distance_raw(&self, x: NodeId, y: NodeId) -> u16 {
+    pub(crate) fn standard_distance_raw(&self, x: NodeId, y: NodeId) -> u16 {
         if x == y {
             return 0;
         }
         merge_min(&self.label_out[x.index()], &self.label_in[y.index()])
     }
+
+    /// Raw non-empty distance (diagonal = shortest cycle), `UNREACHABLE` = ∅.
+    pub(crate) fn nonempty_raw(&self, x: NodeId, y: NodeId) -> u16 {
+        if x == y {
+            self.diagonal[x.index()]
+        } else {
+            self.standard_distance_raw(x, y)
+        }
+    }
 }
 
 /// Merge-join of two rank-sorted label lists, returning the minimal distance
 /// sum over common hubs.
-fn merge_min(out: &[LabelEntry], inc: &[LabelEntry]) -> u16 {
+///
+/// Label entries are always finite, but the *sum* of two saturated entries
+/// can hit `UNREACHABLE` exactly — that would conflate a very long path with
+/// the ∅ ("no path") sentinel, so the sum is clamped to `UNREACHABLE - 1`,
+/// matching the saturation convention of the distance matrix.
+pub(crate) fn merge_min(out: &[LabelEntry], inc: &[LabelEntry]) -> u16 {
     let mut best = UNREACHABLE;
     let (mut i, mut j) = (0, 0);
     while i < out.len() && j < inc.len() {
@@ -190,7 +206,7 @@ fn merge_min(out: &[LabelEntry], inc: &[LabelEntry]) -> u16 {
             std::cmp::Ordering::Less => i += 1,
             std::cmp::Ordering::Greater => j += 1,
             std::cmp::Ordering::Equal => {
-                let sum = out[i].1.saturating_add(inc[j].1);
+                let sum = out[i].1.saturating_add(inc[j].1).min(UNREACHABLE - 1);
                 best = best.min(sum);
                 i += 1;
                 j += 1;
@@ -200,8 +216,11 @@ fn merge_min(out: &[LabelEntry], inc: &[LabelEntry]) -> u16 {
     best
 }
 
-enum Direction {
+#[derive(Clone, Copy)]
+pub(crate) enum Direction {
+    /// Follow out-edges.
     Forward,
+    /// Follow in-edges.
     Backward,
 }
 
@@ -234,6 +253,11 @@ fn pruned_bfs(
             continue;
         }
         labelled.push((v, d));
+        // Depth saturation: never hand out UNREACHABLE (∅) as a real
+        // distance — nodes beyond the horizon keep the saturated value.
+        if d >= UNREACHABLE - 1 {
+            continue;
+        }
         let neighbours = match direction {
             Direction::Forward => g.out_neighbors(v),
             Direction::Backward => g.in_neighbors(v),
@@ -391,6 +415,78 @@ mod tests {
         let idx = TwoHopIndex::build(&g);
         assert_eq!(idx.label_entries(), 0);
         assert_eq!(idx.average_label_size(), 0.0);
+    }
+
+    #[test]
+    fn isolated_nodes_from_declared_node_sets() {
+        // Nodes declared with no incident edges (the `.attrs`-file case):
+        // standard self-distance is 0, non-empty self-distance is ∅, and no
+        // cross pair is reachable.
+        let mut g = DataGraph::new();
+        g.add_nodes(3);
+        let idx = TwoHopIndex::build(&g);
+        let m = DistanceMatrix::build(&g);
+        for x in g.nodes() {
+            assert_eq!(idx.standard_distance(x, x), Some(0));
+            assert_eq!(idx.nonempty_distance(x, x), None);
+            assert!(!idx.reachable(x, x));
+            for y in g.nodes() {
+                assert_eq!(idx.nonempty_distance(x, y), m.nonempty_distance(x, y));
+                assert_eq!(idx.standard_distance(x, y), m.standard_distance(x, y));
+                if x != y {
+                    assert!(!idx.reachable(x, y));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_pairs_are_none_not_huge() {
+        // Across components both conventions must report ∅ (None), never a
+        // saturated finite value.
+        let g = sample();
+        let idx = TwoHopIndex::build(&g);
+        assert_eq!(idx.standard_distance(n(0), n(5)), None);
+        assert_eq!(idx.nonempty_distance(n(0), n(5)), None);
+        assert_eq!(idx.standard_distance(n(5), n(4)), None);
+        // Within a component but against edge direction: also ∅.
+        assert_eq!(idx.standard_distance(n(3), n(0)), None);
+        assert_eq!(idx.nonempty_distance(n(3), n(0)), None);
+    }
+
+    #[test]
+    fn saturated_label_sums_stay_finite() {
+        // Two saturated-but-finite label entries must not sum to the ∅
+        // sentinel: a very long path is still a path.
+        let idx = TwoHopIndex {
+            label_out: vec![vec![(0, UNREACHABLE - 1)], Vec::new()],
+            label_in: vec![Vec::new(), vec![(0, UNREACHABLE - 1)]],
+            diagonal: vec![UNREACHABLE, UNREACHABLE],
+        };
+        assert_eq!(
+            idx.standard_distance(n(0), n(1)),
+            Some(u32::from(UNREACHABLE - 1))
+        );
+        assert_eq!(
+            idx.nonempty_distance(n(0), n(1)),
+            Some(u32::from(UNREACHABLE - 1))
+        );
+        assert!(idx.reachable(n(0), n(1)));
+        // The diagonal honours the same convention.
+        assert_eq!(idx.nonempty_distance(n(0), n(0)), None);
+        assert!(!idx.reachable(n(0), n(0)));
+    }
+
+    #[test]
+    fn self_distance_conventions_on_a_cycle() {
+        let g = sample();
+        let idx = TwoHopIndex::build(&g);
+        // On the 0-1-2 cycle: standard diagonal is 0, non-empty is the cycle.
+        assert_eq!(idx.standard_distance(n(0), n(0)), Some(0));
+        assert_eq!(idx.nonempty_distance(n(0), n(0)), Some(3));
+        // Off the cycle: standard 0, non-empty ∅.
+        assert_eq!(idx.standard_distance(n(3), n(3)), Some(0));
+        assert_eq!(idx.nonempty_distance(n(3), n(3)), None);
     }
 
     #[test]

@@ -1,0 +1,759 @@
+//! An incrementally maintainable 2-hop labeling — the sublinear-memory
+//! distance backend.
+//!
+//! [`IncrementalTwoHop`] answers every query from the pruned landmark labels
+//! of a [`TwoHopIndex`] alone (no fallback BFS), and implements the full
+//! [`DistanceOracle`] maintenance surface:
+//!
+//! * **insertions** are repaired in place with the dynamic pruned-landmark
+//!   scheme of Akiba, Iwata and Yoshida ("Dynamic and historical shortest-path
+//!   distance queries on large evolving networks", WWW 2014), adapted to
+//!   directed graphs: for every hub that reaches the new edge's source, a
+//!   *resumed* pruned BFS continues from the edge's target (and symmetrically
+//!   backwards from the source for hubs reached from the target). Stale,
+//!   dominated label entries may linger, but queries stay exact and the index
+//!   only grows by the labels the insertion actually needs;
+//! * **deletions** first rebuild the non-empty distance row of the edge
+//!   source `s` with one BFS and diff it against the labels. If the row is
+//!   unchanged the deletion provably changed *no* pair and the labels are
+//!   kept as they are. If the row changed but **no other node reaches `s`**
+//!   (deleting the first edge of a chain, trimming a source node), every
+//!   affected pair has source `s` and the labels are repaired in place:
+//!   stale hub entries of `s` are overwritten with the fresh BFS row, which
+//!   keeps every query exact. Otherwise the index is rebuilt from scratch —
+//!   general decremental label repair is unsound (a label may certify a path
+//!   the deletion destroyed) — and the rebuild is recorded in
+//!   [`rebuild_count`](IncrementalTwoHop::rebuild_count) so benchmarks and the
+//!   adversarial-topology tests can observe exactly where incremental repair
+//!   degrades.
+//!
+//! The reported `AFF1` is **bit-identical** to the distance matrix's for
+//! insertions (same pairs, same order, same old/new values) and identical
+//! *as a set* for deletions (the matrix emits its row diff before its
+//! per-sink repairs; the label backend emits the row diff before the
+//! rectangle diff). Downstream match repair treats `AFF1` as a set of
+//! affected sources, so both backends drive identical match deltas.
+
+use crate::incremental::{AffectedPair, AffectedPairs};
+use crate::oracle::DistanceOracle;
+use crate::two_hop::{merge_min, Direction, LabelEntry, TwoHopIndex};
+use crate::UNREACHABLE;
+use gpm_exec::Executor;
+use gpm_graph::{DataGraph, EdgeBound, NodeId};
+use std::collections::VecDeque;
+
+/// A 2-hop labeled distance oracle with incremental maintenance.
+///
+/// Memory is proportional to the number of label entries (typically far
+/// below `|V|²` on the skewed-degree graphs of the evaluation), which is what
+/// lets bounded-simulation runs scale to node counts where the
+/// [`crate::DistanceMatrix`] cannot even be allocated. See the README's
+/// "Distance backends" table for the trade-offs.
+#[derive(Clone, Debug)]
+pub struct IncrementalTwoHop {
+    index: TwoHopIndex,
+    /// Hub rank → node, recovered from the self-label entries (`d == 0`).
+    hubs_by_rank: Vec<NodeId>,
+    /// How many deletions degraded to a full rebuild.
+    rebuilds: usize,
+}
+
+impl IncrementalTwoHop {
+    /// Builds the labeling for `g`.
+    pub fn build(g: &DataGraph) -> Self {
+        Self::build_with(g, &Executor::from_env())
+    }
+
+    /// Builds the labeling on the shared executor.
+    pub fn build_with(g: &DataGraph, exec: &Executor) -> Self {
+        let index = TwoHopIndex::build_with(g, exec);
+        let hubs_by_rank = recover_ranks(&index);
+        IncrementalTwoHop {
+            index,
+            hubs_by_rank,
+            rebuilds: 0,
+        }
+    }
+
+    /// The underlying labeling.
+    pub fn index(&self) -> &TwoHopIndex {
+        &self.index
+    }
+
+    /// How many deletions degraded to a full index rebuild so far.
+    pub fn rebuild_count(&self) -> usize {
+        self.rebuilds
+    }
+
+    /// Approximate resident size of the index in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.index.label_entries() * std::mem::size_of::<LabelEntry>()
+            + self.index.diagonal.len() * std::mem::size_of::<u16>()
+            + self.hubs_by_rank.len() * std::mem::size_of::<NodeId>()
+    }
+
+    /// Non-empty distance between two nodes (diagonal = shortest cycle).
+    pub fn nonempty_distance(&self, x: NodeId, y: NodeId) -> Option<u32> {
+        self.index.nonempty_distance(x, y)
+    }
+
+    /// Standard distance (diagonal 0), `None` if unreachable.
+    pub fn standard_distance(&self, x: NodeId, y: NodeId) -> Option<u32> {
+        self.index.standard_distance(x, y)
+    }
+
+    fn insert_repair(
+        &mut self,
+        g: &DataGraph,
+        s: NodeId,
+        t: NodeId,
+        exec: &Executor,
+    ) -> AffectedPairs {
+        debug_assert!(g.has_edge(s, t), "graph must already contain the new edge");
+        let n = g.node_count();
+
+        // std(x, s) and std(t, y) are unchanged by the insertion (a path
+        // using the new edge would revisit s / t and contain a removable
+        // cycle), so BFS on the *updated* graph recovers the old values the
+        // AFF1 contract needs.
+        let to_s = distance_row(g, s, Direction::Backward, false);
+        let from_t = distance_row(g, t, Direction::Forward, false);
+
+        // AFF1 over the ancestors(s) × descendants(t) rectangle, replicating
+        // the matrix computation pair for pair (same order, same values);
+        // `old` distances are label queries against the not-yet-repaired
+        // index, which is exact for the pre-insertion graph.
+        let sinks: Vec<(NodeId, u16)> = (0..n as u32)
+            .map(NodeId::new)
+            .filter_map(|y| {
+                let d = from_t[y.index()];
+                (d != UNREACHABLE).then_some((y, d))
+            })
+            .collect();
+        let idx = &self.index;
+        let per_source: Vec<Vec<AffectedPair>> = exec.par_map_index(n, |xi| {
+            let x = NodeId::new(xi as u32);
+            let dx = to_s[xi];
+            if dx == UNREACHABLE {
+                return Vec::new();
+            }
+            let to_t = idx.nonempty_raw(x, t);
+            if u32::from(to_t) <= u32::from(dx) + 1 {
+                return Vec::new(); // no improvement possible through the new edge
+            }
+            let mut improved = Vec::new();
+            for &(y, dy) in &sinks {
+                let via = u32::from(dx) + 1 + u32::from(dy);
+                let via = if via >= u32::from(UNREACHABLE) {
+                    UNREACHABLE - 1
+                } else {
+                    via as u16
+                };
+                let old = idx.nonempty_raw(x, y);
+                if via < old {
+                    improved.push(AffectedPair {
+                        source: x,
+                        sink: y,
+                        old,
+                        new: via,
+                    });
+                }
+            }
+            improved
+        });
+        let mut pairs = Vec::new();
+        for chunk in per_source {
+            pairs.extend(chunk);
+        }
+
+        // The labels do not store the diagonal; repair it straight from the
+        // AFF1 entries (new cycles through v all run v ⇝ s → t ⇝ v).
+        for p in &pairs {
+            if p.source == p.sink {
+                self.index.diagonal[p.source.index()] = p.new;
+            }
+        }
+
+        // Dynamic label repair: resume a pruned BFS from t for every hub
+        // that reaches s, and backwards from s for every hub reached from t.
+        let hub_in: Vec<LabelEntry> = self.index.label_in[s.index()].clone();
+        let hub_out: Vec<LabelEntry> = self.index.label_out[t.index()].clone();
+        let mut dist = vec![UNREACHABLE; n];
+        let mut queue = VecDeque::new();
+        let hubs = &self.hubs_by_rank;
+        let TwoHopIndex {
+            label_out,
+            label_in,
+            ..
+        } = &mut self.index;
+        for (rank, d) in hub_in {
+            let hub = hubs[rank as usize];
+            let start = d.saturating_add(1).min(UNREACHABLE - 1);
+            resume_label_repair(
+                g,
+                Direction::Forward,
+                rank,
+                hub,
+                t,
+                start,
+                label_out,
+                label_in,
+                &mut dist,
+                &mut queue,
+            );
+        }
+        for (rank, d) in hub_out {
+            let hub = hubs[rank as usize];
+            let start = d.saturating_add(1).min(UNREACHABLE - 1);
+            resume_label_repair(
+                g,
+                Direction::Backward,
+                rank,
+                hub,
+                s,
+                start,
+                label_out,
+                label_in,
+                &mut dist,
+                &mut queue,
+            );
+        }
+
+        AffectedPairs { pairs }
+    }
+
+    fn delete_repair(
+        &mut self,
+        g: &DataGraph,
+        s: NodeId,
+        t: NodeId,
+        exec: &Executor,
+    ) -> AffectedPairs {
+        debug_assert!(
+            !g.has_edge(s, t),
+            "graph must no longer contain the deleted edge"
+        );
+        let _ = t;
+        let n = g.node_count();
+        let mut affected = Vec::new();
+
+        // Any affected pair forces the row of s to change (its old shortest
+        // path ran x ⇝ s → t ⇝ y, so (s, y) loses that route too): rebuild
+        // the non-empty row of s with one BFS and diff it against the labels.
+        let new_row = distance_row(g, s, Direction::Forward, true);
+        let mut changed_sinks: Vec<NodeId> = Vec::new();
+        for (yi, &new) in new_row.iter().enumerate() {
+            let y = NodeId::new(yi as u32);
+            let old = self.index.nonempty_raw(s, y);
+            if old != new {
+                affected.push(AffectedPair {
+                    source: s,
+                    sink: y,
+                    old,
+                    new,
+                });
+                changed_sinks.push(y);
+            }
+        }
+        if changed_sinks.is_empty() {
+            // Provable no-op: the labels stay exact, no rebuild needed.
+            return AffectedPairs { pairs: affected };
+        }
+
+        // std(x, s) is unchanged by the deletion; the candidate rectangle is
+        // {x reaching s} × changed sinks.
+        let to_s = distance_row(g, s, Direction::Backward, false);
+        let sources: Vec<NodeId> = (0..n as u32)
+            .map(NodeId::new)
+            .filter(|&x| x != s && to_s[x.index()] != UNREACHABLE)
+            .collect();
+        if sources.is_empty() {
+            // Every affected pair has source s (nothing else reaches s, and
+            // hub-s label entries can only serve queries out of s), so the
+            // labels are repairable in place from the fresh BFS row.
+            self.repair_source_row(g, s, &new_row);
+            return AffectedPairs { pairs: affected };
+        }
+        // Snapshot the old rectangle values before the labels are replaced.
+        let old_vals: Vec<u16> = sources
+            .iter()
+            .flat_map(|&x| changed_sinks.iter().map(move |&y| (x, y)))
+            .map(|(x, y)| self.index.nonempty_raw(x, y))
+            .collect();
+
+        // Decremental label repair is unsound in general; rebuild and record.
+        self.index = TwoHopIndex::build_with(g, exec);
+        self.hubs_by_rank = recover_ranks(&self.index);
+        self.rebuilds += 1;
+
+        let mut k = 0;
+        for &x in &sources {
+            for &y in &changed_sinks {
+                let old = old_vals[k];
+                k += 1;
+                let new = self.index.nonempty_raw(x, y);
+                if old != new {
+                    affected.push(AffectedPair {
+                        source: x,
+                        sink: y,
+                        old,
+                        new,
+                    });
+                }
+            }
+        }
+        AffectedPairs { pairs: affected }
+    }
+
+    /// In-place label repair for a deletion that only changed the row of `s`
+    /// (no other node reaches `s`). `new_row` is the fresh non-empty BFS row
+    /// of `s` on the updated graph.
+    ///
+    /// Soundness: since no `x ≠ s` reaches `s`, no label anywhere certifies a
+    /// path *into* `s`, so hub-`s` entries only ever serve queries with
+    /// source `s`, and the stale entries that could under-estimate are
+    /// exactly (a) the out-label of `s` itself and (b) the `(rank(s), ·)`
+    /// in-label entries. Both are overwritten with exact fresh values, and
+    /// `(rank(s), std_new(s, y))` is upserted for every reachable `y` so the
+    /// 2-hop cover of every `(s, y)` pair is restored.
+    fn repair_source_row(&mut self, g: &DataGraph, s: NodeId, new_row: &[u16]) {
+        debug_assert_eq!(new_row.len(), g.node_count());
+        let rank_s = self.index.label_in[s.index()]
+            .iter()
+            .find(|&&(_, d)| d == 0)
+            .expect("every node self-labels at distance 0")
+            .0;
+        // (a) Out-label of s: refresh every entry to the exact new distance.
+        let hubs = &self.hubs_by_rank;
+        self.index.label_out[s.index()].retain_mut(|e| {
+            let h = hubs[e.0 as usize];
+            let d = if h == s { 0 } else { new_row[h.index()] };
+            if d == UNREACHABLE {
+                return false;
+            }
+            e.1 = d;
+            true
+        });
+        // (b) Hub-s in-label entries: exact new value for every reachable
+        // node, removed where s no longer reaches.
+        for (vi, &row_d) in new_row.iter().enumerate() {
+            let d = if vi == s.index() { 0 } else { row_d };
+            let list = &mut self.index.label_in[vi];
+            match list.binary_search_by_key(&rank_s, |e| e.0) {
+                Ok(i) => {
+                    if d == UNREACHABLE {
+                        list.remove(i);
+                    } else {
+                        list[i].1 = d;
+                    }
+                }
+                Err(i) => {
+                    if d != UNREACHABLE {
+                        list.insert(i, (rank_s, d));
+                    }
+                }
+            }
+        }
+        // The only diagonal that can change is s's own (any other cycle
+        // through the deleted edge would have to reach s).
+        self.index.diagonal[s.index()] = new_row[s.index()];
+    }
+}
+
+impl DistanceOracle for IncrementalTwoHop {
+    #[inline]
+    fn nonempty_distance(&self, _g: &DataGraph, from: NodeId, to: NodeId) -> Option<u32> {
+        self.index.nonempty_distance(from, to)
+    }
+
+    #[inline]
+    fn within(&self, _g: &DataGraph, from: NodeId, to: NodeId, bound: EdgeBound) -> bool {
+        match bound {
+            EdgeBound::Hops(k) => {
+                let d = self.index.nonempty_raw(from, to);
+                d != UNREACHABLE && u32::from(d) <= k
+            }
+            EdgeBound::Unbounded => self.index.reachable(from, to),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "two-hop"
+    }
+
+    fn supports_incremental(&self) -> bool {
+        true
+    }
+
+    fn apply_insert(
+        &mut self,
+        g: &DataGraph,
+        from: NodeId,
+        to: NodeId,
+        exec: &Executor,
+    ) -> AffectedPairs {
+        self.insert_repair(g, from, to, exec)
+    }
+
+    fn apply_delete(
+        &mut self,
+        g: &DataGraph,
+        from: NodeId,
+        to: NodeId,
+        exec: &Executor,
+    ) -> AffectedPairs {
+        self.delete_repair(g, from, to, exec)
+    }
+
+    fn rebuilds(&self) -> usize {
+        self.rebuilds
+    }
+
+    fn memory_bytes(&self) -> usize {
+        IncrementalTwoHop::memory_bytes(self)
+    }
+
+    fn clone_box(&self) -> Option<Box<dyn DistanceOracle + Send + Sync>> {
+        Some(Box::new(self.clone()))
+    }
+}
+
+/// Recovers the hub-rank → node mapping from the self-label entries: every
+/// node carries `(own rank, 0)` in its incoming label.
+fn recover_ranks(index: &TwoHopIndex) -> Vec<NodeId> {
+    let n = index.label_in.len();
+    let mut hubs = vec![NodeId::new(0); n];
+    for v in 0..n {
+        let (rank, _) = index.label_in[v]
+            .iter()
+            .copied()
+            .find(|&(_, d)| d == 0)
+            .expect("every node self-labels at distance 0");
+        hubs[rank as usize] = NodeId::new(v as u32);
+    }
+    hubs
+}
+
+/// One full BFS row from `origin` (standard when `nonempty` is false,
+/// non-empty — seeded at the neighbours, diagonal = shortest cycle — when
+/// true), saturating at `UNREACHABLE - 1`.
+fn distance_row(g: &DataGraph, origin: NodeId, direction: Direction, nonempty: bool) -> Vec<u16> {
+    let n = g.node_count();
+    let mut dist = vec![UNREACHABLE; n];
+    let mut queue = VecDeque::new();
+    let neighbours_of = |v: NodeId| match direction {
+        Direction::Forward => g.out_neighbors(v),
+        Direction::Backward => g.in_neighbors(v),
+    };
+    if nonempty {
+        for &w in neighbours_of(origin) {
+            if dist[w.index()] == UNREACHABLE {
+                dist[w.index()] = 1;
+                queue.push_back(w);
+            }
+        }
+    } else {
+        dist[origin.index()] = 0;
+        queue.push_back(origin);
+    }
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v.index()];
+        if d >= UNREACHABLE - 1 {
+            continue;
+        }
+        for &w in neighbours_of(v) {
+            if dist[w.index()] == UNREACHABLE {
+                dist[w.index()] = d + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// Resumes a pruned BFS for `hub` from `start` at distance `start_dist`,
+/// inserting/tightening the labels of every node the new edge brought closer
+/// to the hub. `dist` is scratch space, fully reset before returning.
+#[allow(clippy::too_many_arguments)]
+fn resume_label_repair(
+    g: &DataGraph,
+    direction: Direction,
+    hub_rank: u32,
+    hub: NodeId,
+    start: NodeId,
+    start_dist: u16,
+    label_out: &mut [Vec<LabelEntry>],
+    label_in: &mut [Vec<LabelEntry>],
+    dist: &mut [u16],
+    queue: &mut VecDeque<NodeId>,
+) {
+    queue.clear();
+    dist[start.index()] = start_dist;
+    queue.push_back(start);
+    let mut visited: Vec<NodeId> = vec![start];
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v.index()];
+        // Prune where the current labels already certify `<= dv` — existing
+        // entries are valid upper bounds (insertions only shrink distances),
+        // so anything at or below the resumed frontier needs no repair.
+        let already = match direction {
+            Direction::Forward => merge_min(&label_out[hub.index()], &label_in[v.index()]),
+            Direction::Backward => merge_min(&label_out[v.index()], &label_in[hub.index()]),
+        };
+        if already <= dv {
+            continue;
+        }
+        let list = match direction {
+            Direction::Forward => &mut label_in[v.index()],
+            Direction::Backward => &mut label_out[v.index()],
+        };
+        upsert(list, hub_rank, dv);
+        if dv >= UNREACHABLE - 1 {
+            continue;
+        }
+        let neighbours = match direction {
+            Direction::Forward => g.out_neighbors(v),
+            Direction::Backward => g.in_neighbors(v),
+        };
+        for &w in neighbours {
+            if dist[w.index()] == UNREACHABLE {
+                dist[w.index()] = dv + 1;
+                visited.push(w);
+                queue.push_back(w);
+            }
+        }
+    }
+    for v in visited {
+        dist[v.index()] = UNREACHABLE;
+    }
+}
+
+/// Inserts or tightens the rank-sorted label entry for `rank`.
+fn upsert(list: &mut Vec<LabelEntry>, rank: u32, d: u16) {
+    match list.binary_search_by_key(&rank, |e| e.0) {
+        Ok(i) => {
+            if d < list[i].1 {
+                list[i].1 = d;
+            }
+        }
+        Err(i) => list.insert(i, (rank, d)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::incremental::EdgeUpdate;
+    use crate::matrix::DistanceMatrix;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom as _;
+    use rand::{Rng as _, SeedableRng as _};
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn path_graph(len: u32) -> DataGraph {
+        let mut g = DataGraph::new();
+        g.add_nodes(len as usize);
+        for i in 0..len - 1 {
+            g.add_edge(n(i), n(i + 1)).unwrap();
+        }
+        g
+    }
+
+    fn assert_all_pairs_agree(g: &DataGraph, oracle: &IncrementalTwoHop, m: &DistanceMatrix) {
+        for x in g.nodes() {
+            for y in g.nodes() {
+                assert_eq!(
+                    oracle.nonempty_distance(x, y),
+                    m.nonempty_distance(x, y),
+                    "mismatch at ({x}, {y})"
+                );
+            }
+        }
+    }
+
+    fn sorted(mut pairs: Vec<AffectedPair>) -> Vec<AffectedPair> {
+        pairs.sort_by_key(|p| (p.source, p.sink));
+        pairs
+    }
+
+    #[test]
+    fn insertion_matches_matrix_aff1_exactly() {
+        let mut g = path_graph(4);
+        let exec = Executor::sequential();
+        let mut oracle = IncrementalTwoHop::build(&g);
+        let mut m = DistanceMatrix::build(&g);
+
+        g.add_edge(n(3), n(0)).unwrap();
+        let aff_o = oracle.apply_insert(&g, n(3), n(0), &exec);
+        let aff_m = m.apply_insert(&g, n(3), n(0), &exec);
+        assert_eq!(aff_o, aff_m, "insert AFF1 must be bit-identical");
+        assert_all_pairs_agree(&g, &oracle, &m);
+        assert_eq!(oracle.rebuild_count(), 0);
+        // The cycle gave every node a finite diagonal.
+        assert_eq!(oracle.nonempty_distance(n(0), n(0)), Some(4));
+    }
+
+    #[test]
+    fn source_node_deletion_is_repaired_in_place() {
+        // Nothing reaches node 0, so cutting its out-edge only changes the
+        // row of 0 — the labels are repaired in place, no rebuild.
+        let mut g = path_graph(4);
+        let exec = Executor::sequential();
+        let mut oracle = IncrementalTwoHop::build(&g);
+        let mut m = DistanceMatrix::build(&g);
+
+        g.remove_edge(n(0), n(1)).unwrap();
+        let aff_o = oracle.apply_delete(&g, n(0), n(1), &exec);
+        let aff_m = m.apply_delete(&g, n(0), n(1), &exec);
+        assert_eq!(sorted(aff_o.pairs), sorted(aff_m.pairs));
+        assert_all_pairs_agree(&g, &oracle, &m);
+        assert_eq!(oracle.rebuild_count(), 0, "in-place source-row repair");
+
+        // The repaired labels must survive *further* maintenance.
+        g.add_edge(n(0), n(2)).unwrap();
+        let aff_o = oracle.apply_insert(&g, n(0), n(2), &exec);
+        let aff_m = m.apply_insert(&g, n(0), n(2), &exec);
+        assert_eq!(aff_o, aff_m);
+        assert_all_pairs_agree(&g, &oracle, &m);
+    }
+
+    #[test]
+    fn deletion_with_upstream_sources_rebuilds() {
+        // Cutting an interior chain edge affects upstream sources too —
+        // repair degrades to a (counted) rebuild.
+        let mut g = path_graph(4);
+        let exec = Executor::sequential();
+        let mut oracle = IncrementalTwoHop::build(&g);
+        let mut m = DistanceMatrix::build(&g);
+
+        g.remove_edge(n(2), n(3)).unwrap();
+        let aff_o = oracle.apply_delete(&g, n(2), n(3), &exec);
+        let aff_m = m.apply_delete(&g, n(2), n(3), &exec);
+        assert_eq!(sorted(aff_o.pairs), sorted(aff_m.pairs));
+        assert_all_pairs_agree(&g, &oracle, &m);
+        assert_eq!(oracle.rebuild_count(), 1, "interior cut forces a rebuild");
+    }
+
+    #[test]
+    fn batch_maintenance_matches_matrix() {
+        let mut g = path_graph(6);
+        g.add_edge(n(5), n(0)).unwrap();
+        let exec = Executor::sequential();
+        let mut oracle = IncrementalTwoHop::build(&g);
+        let mut m = DistanceMatrix::build(&g);
+
+        let updates = vec![
+            EdgeUpdate::Insert(n(0), n(3)),
+            EdgeUpdate::Delete(n(2), n(3)),
+            EdgeUpdate::Insert(n(3), n(1)),
+            EdgeUpdate::Delete(n(5), n(0)),
+        ];
+        for u in &updates {
+            u.apply(&mut g);
+        }
+        let aff_o = oracle.apply_batch(&g, &updates, &exec);
+        let aff_m = m.apply_batch(&g, &updates, &exec);
+        assert_eq!(sorted(aff_o.pairs), sorted(aff_m.pairs));
+        assert_all_pairs_agree(&g, &oracle, &m);
+    }
+
+    #[test]
+    fn memory_and_introspection() {
+        let g = path_graph(5);
+        let oracle = IncrementalTwoHop::build(&g);
+        assert!(oracle.memory_bytes() > 0);
+        assert!(oracle.index().label_entries() > 0);
+        assert_eq!(oracle.standard_distance(n(0), n(0)), Some(0));
+        let o: &dyn DistanceOracle = &oracle;
+        assert_eq!(o.name(), "two-hop");
+        assert!(o.supports_incremental());
+        assert_eq!(o.rebuilds(), 0);
+        assert!(o.memory_bytes() > 0);
+        assert!(o.within(&g, n(0), n(4), EdgeBound::Hops(4)));
+        assert!(!o.within(&g, n(0), n(4), EdgeBound::Hops(3)));
+        assert!(!o.within(&g, n(4), n(0), EdgeBound::Unbounded));
+    }
+
+    fn random_graph_and_updates(
+        seed: u64,
+        nodes: usize,
+        edges: usize,
+        updates: usize,
+    ) -> (DataGraph, Vec<EdgeUpdate>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = DataGraph::new();
+        g.add_nodes(nodes);
+        while g.edge_count() < edges {
+            let a = rng.gen_range(0..nodes as u32);
+            let b = rng.gen_range(0..nodes as u32);
+            let _ = g.try_add_edge(n(a), n(b));
+        }
+        let mut scratch = g.clone();
+        let mut ups = Vec::new();
+        for _ in 0..updates {
+            if rng.gen_bool(0.5) && scratch.edge_count() > 0 {
+                let edges: Vec<_> = scratch.edges().collect();
+                let &(a, b) = edges.choose(&mut rng).unwrap();
+                let u = EdgeUpdate::Delete(a, b);
+                u.apply(&mut scratch);
+                ups.push(u);
+            } else {
+                let a = n(rng.gen_range(0..nodes as u32));
+                let b = n(rng.gen_range(0..nodes as u32));
+                if !scratch.has_edge(a, b) {
+                    let u = EdgeUpdate::Insert(a, b);
+                    u.apply(&mut scratch);
+                    ups.push(u);
+                }
+            }
+        }
+        (g, ups)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        /// Under randomized interleaved unit updates the maintained labels
+        /// agree with the maintained matrix on every pair, insert AFF1s are
+        /// bit-identical and delete AFF1s identical as sets.
+        #[test]
+        fn prop_unit_updates_agree_with_matrix(seed in 0u64..400) {
+            let (mut g, updates) = random_graph_and_updates(seed, 13, 26, 10);
+            let exec = Executor::sequential();
+            let mut oracle = IncrementalTwoHop::build(&g);
+            let mut m = DistanceMatrix::build(&g);
+            for u in updates {
+                if !u.apply(&mut g) {
+                    continue;
+                }
+                let (a, b) = u.endpoints();
+                let (aff_o, aff_m) = if u.is_insert() {
+                    (oracle.apply_insert(&g, a, b, &exec), m.apply_insert(&g, a, b, &exec))
+                } else {
+                    (oracle.apply_delete(&g, a, b, &exec), m.apply_delete(&g, a, b, &exec))
+                };
+                if u.is_insert() {
+                    prop_assert_eq!(&aff_o, &aff_m, "insert AFF1 must be bit-identical ({})", u);
+                } else {
+                    prop_assert_eq!(
+                        sorted(aff_o.pairs.clone()),
+                        sorted(aff_m.pairs.clone()),
+                        "delete AFF1 must match as a set ({})", u
+                    );
+                }
+                for x in g.nodes() {
+                    for y in g.nodes() {
+                        prop_assert_eq!(
+                            oracle.nonempty_distance(x, y),
+                            m.nonempty_distance(x, y),
+                            "seed {} after {}: mismatch at ({}, {})", seed, u, x, y
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

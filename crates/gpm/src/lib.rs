@@ -9,12 +9,12 @@
 //! |--------|----------|
 //! | [`graph`] | attributed data graphs, pattern graphs, predicates, traversals, dataset IO |
 //! | [`exec`] | the work-stealing fork-join executor and its [`Parallelism`] policy |
-//! | [`distance`] | distance matrix, BFS and 2-hop oracles, incremental shortest paths |
+//! | [`distance`] | distance matrix, BFS and 2-hop oracles, incremental shortest paths, pluggable backends ([`OracleBackend`]) |
 //! | [`matching`] | the cubic-time `Match` (bounded simulation), graph simulation, result graphs |
 //! | [`incremental`] | `Match−`, `Match+`, `IncMatch`, shared-AFF repair, and the `IncrementalMatcher` facade |
 //! | [`service`] | the continuous multi-pattern matching service (`MatchService`: register/apply/subscribe) |
 //! | [`iso`] | subgraph-isomorphism baselines (Ullmann `SubIso`, VF2) |
-//! | [`datagen`] | synthetic graphs, simulated Matter/PBlog/YouTube datasets, dataset sources/export, pattern generator, update streams |
+//! | [`datagen`] | synthetic graphs, simulated Matter/PBlog/YouTube datasets, adversarial topologies, dataset sources/export, pattern generator, update streams |
 //!
 //! The most common entry points are also re-exported at the crate root.
 //!
@@ -138,7 +138,8 @@ pub use gpm_datagen::{
     PatternGenConfig, RandomGraphConfig, UpdateStreamConfig,
 };
 pub use gpm_distance::{
-    BfsOracle, DistanceMatrix, DistanceOracle, EdgeUpdate, TwoHopIndex, TwoHopOracle,
+    BfsOracle, DistanceMatrix, DistanceOracle, EdgeUpdate, IncrementalTwoHop, OracleBackend,
+    TwoHopIndex, TwoHopOracle,
 };
 pub use gpm_exec::{Executor, Parallelism};
 pub use gpm_graph::{

@@ -19,28 +19,28 @@
 use crate::affected::IncrementalOutcome;
 use crate::repair::repair_match_state;
 use crate::state::MatchState;
-use gpm_distance::{update_matrix_batch_with, DistanceMatrix, EdgeUpdate};
+use gpm_distance::{DistanceOracle, EdgeUpdate};
 use gpm_exec::Executor;
 use gpm_graph::{DataGraph, GraphError, PatternGraph};
 
-/// Applies a batch `δ` of edge updates to `graph`, maintains `matrix` and
+/// Applies a batch `δ` of edge updates to `graph`, maintains `oracle` and
 /// `state`, and reports the affected areas.
 ///
 /// Updates that are no-ops at their position in the batch (inserting an
 /// existing edge, deleting a missing one) are skipped, matching the
 /// behaviour of the update-stream generator. Errors with
 /// [`GraphError::PatternNotAcyclic`] for cyclic patterns (nothing modified).
-pub fn inc_match(
+pub fn inc_match<O: DistanceOracle + ?Sized>(
     pattern: &PatternGraph,
     graph: &mut DataGraph,
-    matrix: &mut DistanceMatrix,
+    oracle: &mut O,
     state: &mut MatchState,
     updates: &[EdgeUpdate],
 ) -> Result<IncrementalOutcome, GraphError> {
     inc_match_with(
         pattern,
         graph,
-        matrix,
+        oracle,
         state,
         updates,
         &Executor::from_env(),
@@ -53,14 +53,14 @@ pub fn inc_match(
 /// is partitioned by affected area across the workers (source rows for
 /// insertions, affected sink columns for deletions; see
 /// [`gpm_distance::update_matrix_with`]) with merges in a fixed order, so
-/// the maintained matrix, match state and reported `AFF1`/`AFF2` are
+/// the maintained oracle, match state and reported `AFF1`/`AFF2` are
 /// identical at every thread count. The match-repair passes themselves
 /// (`Match−`/`Match+` propagation) stay sequential: their work is
 /// proportional to `|AFF2|`, which the paper shows to be small.
-pub fn inc_match_with(
+pub fn inc_match_with<O: DistanceOracle + ?Sized>(
     pattern: &PatternGraph,
     graph: &mut DataGraph,
-    matrix: &mut DistanceMatrix,
+    oracle: &mut O,
     state: &mut MatchState,
     updates: &[EdgeUpdate],
     exec: &Executor,
@@ -74,12 +74,12 @@ pub fn inc_match_with(
             applied.push(*u);
         }
     }
-    let aff1 = update_matrix_batch_with(graph, matrix, &applied, exec);
+    let aff1 = oracle.apply_batch(graph, &applied, exec);
 
     // Removals first, then additions (see module docs) — the shared repair
     // entry point preserves that order; the DAG requirement is already
     // checked above, so it cannot fail here.
-    let repair = repair_match_state(pattern, matrix, state, &aff1)?;
+    let repair = repair_match_state(pattern, graph, oracle, state, &aff1)?;
     Ok(IncrementalOutcome::new(
         aff1,
         repair.aff2,
@@ -92,6 +92,7 @@ mod tests {
     use super::*;
     use gpm_core::bounded_simulation_with_oracle;
     use gpm_datagen::{random_graph, random_updates, RandomGraphConfig, UpdateStreamConfig};
+    use gpm_distance::DistanceMatrix;
     use gpm_graph::{PatternGraphBuilder, Predicate};
     use proptest::prelude::*;
 

@@ -17,28 +17,32 @@
 //! only the edges whose sink also appears in `AFF1` — this keeps the pass
 //! correct when several pairs of the same batch interact (see the discussion
 //! in `batch.rs`), at the cost of a few extra constant-time checks.
+//!
+//! Everything here is generic over a maintainable [`DistanceOracle`], so the
+//! same pass drives the distance matrix and the incremental 2-hop labeling.
 
 use crate::affected::{Aff2, IncrementalOutcome};
 use crate::state::MatchState;
-use gpm_distance::{update_matrix, DistanceMatrix, EdgeUpdate};
+use gpm_distance::DistanceOracle;
+use gpm_exec::Executor;
 use gpm_graph::{DataGraph, EdgeBound, GraphError, NodeId, PatternGraph, PatternNodeId};
 use rustc_hash::FxHashSet;
 
-/// Applies the deletion of `(from, to)` to `graph`, maintains `matrix` and
+/// Applies the deletion of `(from, to)` to `graph`, maintains `oracle` and
 /// `state`, and reports the affected areas.
 ///
 /// Errors with [`GraphError::MissingEdge`] if the edge does not exist; in
 /// that case nothing is modified.
-pub fn match_minus(
+pub fn match_minus<O: DistanceOracle + ?Sized>(
     pattern: &PatternGraph,
     graph: &mut DataGraph,
-    matrix: &mut DistanceMatrix,
+    oracle: &mut O,
     state: &mut MatchState,
     from: NodeId,
     to: NodeId,
 ) -> Result<IncrementalOutcome, GraphError> {
     graph.remove_edge(from, to)?;
-    let aff1 = update_matrix(graph, matrix, EdgeUpdate::Delete(from, to));
+    let aff1 = oracle.apply_delete(graph, from, to, &Executor::from_env());
 
     let sources: FxHashSet<NodeId> = aff1
         .iter()
@@ -49,7 +53,8 @@ pub fn match_minus(
     let mut verifications = 0usize;
     process_removals(
         pattern,
-        matrix,
+        graph,
+        oracle,
         state,
         &sources,
         &mut aff2,
@@ -58,21 +63,12 @@ pub fn match_minus(
     Ok(IncrementalOutcome::new(aff1, aff2, verifications))
 }
 
-/// Whether there is a non-empty path from `x` to `y` admitted by `bound`,
-/// answered from the maintained distance matrix.
-#[inline]
-pub(crate) fn within(matrix: &DistanceMatrix, x: NodeId, y: NodeId, bound: EdgeBound) -> bool {
-    match bound {
-        EdgeBound::Hops(k) => matrix.within_hops(x, y, k),
-        EdgeBound::Unbounded => matrix.reachable(x, y),
-    }
-}
-
 /// Whether matched node `x` of pattern node `u` still has a witness for the
 /// pattern edge `(u, target)` with the given bound.
 #[inline]
-pub(crate) fn edge_witnessed(
-    matrix: &DistanceMatrix,
+pub(crate) fn edge_witnessed<O: DistanceOracle + ?Sized>(
+    graph: &DataGraph,
+    oracle: &O,
     state: &MatchState,
     x: NodeId,
     target: PatternNodeId,
@@ -81,15 +77,16 @@ pub(crate) fn edge_witnessed(
     state
         .matches_of(target)
         .into_iter()
-        .any(|y| within(matrix, x, y, bound))
+        .any(|y| oracle.within(graph, x, y, bound))
 }
 
 /// Removal propagation shared by `Match−` and the deletion side of
 /// `IncMatch`. `sources` are the data nodes whose *outgoing* distances
 /// increased.
-pub(crate) fn process_removals(
+pub(crate) fn process_removals<O: DistanceOracle + ?Sized>(
     pattern: &PatternGraph,
-    matrix: &DistanceMatrix,
+    graph: &DataGraph,
+    oracle: &O,
     state: &mut MatchState,
     sources: &FxHashSet<NodeId>,
     aff2: &mut Aff2,
@@ -107,7 +104,7 @@ pub(crate) fn process_removals(
             let mut invalid = false;
             for e in pattern.out_edges(u) {
                 *verifications += 1;
-                if !edge_witnessed(matrix, state, v, e.to, e.bound) {
+                if !edge_witnessed(graph, oracle, state, v, e.to, e.bound) {
                     invalid = true;
                     break;
                 }
@@ -126,11 +123,11 @@ pub(crate) fn process_removals(
             let parent = e.from;
             // Only matched nodes that could use y as a witness are affected.
             for x in state.matches_of(parent) {
-                if !within(matrix, x, y, e.bound) {
+                if !oracle.within(graph, x, y, e.bound) {
                     continue;
                 }
                 *verifications += 1;
-                if edge_witnessed(matrix, state, x, u, e.bound) {
+                if edge_witnessed(graph, oracle, state, x, u, e.bound) {
                     continue;
                 }
                 state.remove(parent, x);
@@ -145,6 +142,7 @@ pub(crate) fn process_removals(
 mod tests {
     use super::*;
     use gpm_core::bounded_simulation_with_oracle;
+    use gpm_distance::DistanceMatrix;
     use gpm_graph::{DataGraphBuilder, PatternGraphBuilder};
 
     fn setup() -> (DataGraph, PatternGraph, DistanceMatrix, MatchState) {

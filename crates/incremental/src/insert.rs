@@ -21,29 +21,29 @@
 //! recomputation instead).
 
 use crate::affected::{Aff2, IncrementalOutcome};
-use crate::delete::within;
 use crate::state::MatchState;
-use gpm_distance::{update_matrix, DistanceMatrix, EdgeUpdate};
+use gpm_distance::DistanceOracle;
+use gpm_exec::Executor;
 use gpm_graph::{DataGraph, GraphError, NodeId, PatternGraph, PatternNodeId};
 use rustc_hash::FxHashSet;
 
-/// Applies the insertion of `(from, to)` to `graph`, maintains `matrix` and
+/// Applies the insertion of `(from, to)` to `graph`, maintains `oracle` and
 /// `state`, and reports the affected areas.
 ///
 /// Errors with [`GraphError::PatternNotAcyclic`] for cyclic patterns and
 /// [`GraphError::DuplicateEdge`] if the edge already exists; nothing is
 /// modified in either case.
-pub fn match_plus(
+pub fn match_plus<O: DistanceOracle + ?Sized>(
     pattern: &PatternGraph,
     graph: &mut DataGraph,
-    matrix: &mut DistanceMatrix,
+    oracle: &mut O,
     state: &mut MatchState,
     from: NodeId,
     to: NodeId,
 ) -> Result<IncrementalOutcome, GraphError> {
     pattern.require_dag()?;
     graph.add_edge(from, to)?;
-    let aff1 = update_matrix(graph, matrix, EdgeUpdate::Insert(from, to));
+    let aff1 = oracle.apply_insert(graph, from, to, &Executor::from_env());
 
     let sources: FxHashSet<NodeId> = aff1
         .iter()
@@ -54,7 +54,8 @@ pub fn match_plus(
     let mut verifications = 0usize;
     process_additions(
         pattern,
-        matrix,
+        graph,
+        oracle,
         state,
         &sources,
         &mut aff2,
@@ -66,9 +67,10 @@ pub fn match_plus(
 /// Whether candidate `x` of pattern node `u` has every out-edge of `u`
 /// witnessed by the current match sets.
 #[inline]
-pub(crate) fn fully_witnessed(
+pub(crate) fn fully_witnessed<O: DistanceOracle + ?Sized>(
     pattern: &PatternGraph,
-    matrix: &DistanceMatrix,
+    graph: &DataGraph,
+    oracle: &O,
     state: &MatchState,
     u: PatternNodeId,
     x: NodeId,
@@ -79,7 +81,7 @@ pub(crate) fn fully_witnessed(
         let ok = state
             .matches_of(e.to)
             .into_iter()
-            .any(|y| within(matrix, x, y, e.bound));
+            .any(|y| oracle.within(graph, x, y, e.bound));
         if !ok {
             return false;
         }
@@ -90,9 +92,10 @@ pub(crate) fn fully_witnessed(
 /// Addition propagation shared by `Match+` and the insertion side of
 /// `IncMatch`. `sources` are the data nodes whose *outgoing* distances
 /// decreased.
-pub(crate) fn process_additions(
+pub(crate) fn process_additions<O: DistanceOracle + ?Sized>(
     pattern: &PatternGraph,
-    matrix: &DistanceMatrix,
+    graph: &DataGraph,
+    oracle: &O,
     state: &mut MatchState,
     sources: &FxHashSet<NodeId>,
     aff2: &mut Aff2,
@@ -106,7 +109,7 @@ pub(crate) fn process_additions(
             if !state.in_can(u, v) {
                 continue;
             }
-            if fully_witnessed(pattern, matrix, state, u, v, verifications) {
+            if fully_witnessed(pattern, graph, oracle, state, u, v, verifications) {
                 state.add(u, v);
                 aff2.added.push((u, v));
                 worklist.push((u, v));
@@ -119,10 +122,10 @@ pub(crate) fn process_additions(
         for e in pattern.in_edges(u) {
             let parent = e.from;
             for x in state.candidates_of(parent) {
-                if !within(matrix, x, y, e.bound) {
+                if !oracle.within(graph, x, y, e.bound) {
                     continue;
                 }
-                if fully_witnessed(pattern, matrix, state, parent, x, verifications) {
+                if fully_witnessed(pattern, graph, oracle, state, parent, x, verifications) {
                     state.add(parent, x);
                     aff2.added.push((parent, x));
                     worklist.push((parent, x));
@@ -136,6 +139,7 @@ pub(crate) fn process_additions(
 mod tests {
     use super::*;
     use gpm_core::bounded_simulation_with_oracle;
+    use gpm_distance::DistanceMatrix;
     use gpm_graph::{DataGraphBuilder, PatternGraphBuilder};
 
     /// a A, b B, c C with only a -> b; pattern A -[2]-> C (not matched yet).

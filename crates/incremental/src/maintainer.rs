@@ -3,11 +3,17 @@
 //! The paper's workflow is: "compute matches in `G` once, and then
 //! incrementally maintain the matches when `G` is updated". This type bundles
 //! everything that workflow needs — the pattern, the evolving data graph, the
-//! distance matrix `M` and the match state — and routes updates to
+//! maintained distance oracle and the match state — and routes updates to
 //! `Match−` / `Match+` / `IncMatch` as appropriate. For the combinations the
 //! incremental algorithms do not cover (insertions with cyclic patterns), it
 //! falls back to recomputation so callers always end up in a consistent
 //! state.
+//!
+//! The distance backend is pluggable: [`IncrementalMatcher::new`] reads
+//! [`OracleBackend::from_env`] (`GPM_ORACLE`), and
+//! [`IncrementalMatcher::with_backend`] selects one programmatically — the
+//! paper's quadratic matrix or the sublinear-memory incremental 2-hop
+//! labeling.
 
 use crate::affected::IncrementalOutcome;
 use crate::batch::inc_match_with;
@@ -15,45 +21,85 @@ use crate::delete::match_minus;
 use crate::insert::match_plus;
 use crate::state::MatchState;
 use gpm_core::{MatchRelation, ResultGraph};
-use gpm_distance::{update_matrix_batch_with, update_matrix_with, DistanceMatrix, EdgeUpdate};
+use gpm_distance::{DistanceOracle, EdgeUpdate, OracleBackend};
 use gpm_exec::{Executor, Parallelism};
 use gpm_graph::{DataGraph, GraphError, PatternGraph};
 
-/// Owns a pattern, a data graph, the distance matrix and the match state, and
-/// keeps them consistent under edge updates.
-#[derive(Clone, Debug)]
+/// Owns a pattern, a data graph, a maintained distance oracle and the match
+/// state, and keeps them consistent under edge updates.
 pub struct IncrementalMatcher {
     pattern: PatternGraph,
     graph: DataGraph,
-    matrix: DistanceMatrix,
+    oracle: Box<dyn DistanceOracle + Send + Sync>,
     state: MatchState,
     exec: Executor,
     recompute_fallbacks: usize,
 }
 
+impl Clone for IncrementalMatcher {
+    fn clone(&self) -> Self {
+        let oracle = self
+            .oracle
+            .clone_box()
+            .unwrap_or_else(|| panic!("distance oracle `{}` is not cloneable", self.oracle.name()));
+        IncrementalMatcher {
+            pattern: self.pattern.clone(),
+            graph: self.graph.clone(),
+            oracle,
+            state: self.state.clone(),
+            exec: self.exec.clone(),
+            recompute_fallbacks: self.recompute_fallbacks,
+        }
+    }
+}
+
+impl std::fmt::Debug for IncrementalMatcher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IncrementalMatcher")
+            .field("pattern", &self.pattern)
+            .field("graph", &self.graph)
+            .field("oracle", &self.oracle.name())
+            .field("state", &self.state)
+            .field("recompute_fallbacks", &self.recompute_fallbacks)
+            .finish_non_exhaustive()
+    }
+}
+
 impl IncrementalMatcher {
-    /// Builds the matcher: computes the distance matrix and the initial
+    /// Builds the matcher: computes the distance oracle and the initial
     /// maximum match (the "batch" phase). Uses the process-default
-    /// [`Parallelism`] policy; see [`IncrementalMatcher::with_parallelism`].
+    /// [`Parallelism`] policy and the `GPM_ORACLE`-selected backend; see
+    /// [`IncrementalMatcher::with_parallelism`] /
+    /// [`IncrementalMatcher::with_backend`].
     pub fn new(pattern: PatternGraph, graph: DataGraph) -> Self {
         Self::with_parallelism(pattern, graph, Parallelism::from_env())
     }
 
     /// Builds the matcher with an explicit [`Parallelism`] policy, used for
-    /// the initial matrix build and match, and for every subsequent update's
-    /// affected-area repair.
+    /// the initial oracle build and match, and for every subsequent update's
+    /// affected-area repair. The backend comes from [`OracleBackend::from_env`].
     pub fn with_parallelism(
         pattern: PatternGraph,
         graph: DataGraph,
         parallelism: Parallelism,
     ) -> Self {
+        Self::with_backend(pattern, graph, OracleBackend::from_env(), parallelism)
+    }
+
+    /// Builds the matcher on an explicitly selected distance backend.
+    pub fn with_backend(
+        pattern: PatternGraph,
+        graph: DataGraph,
+        backend: OracleBackend,
+        parallelism: Parallelism,
+    ) -> Self {
         let exec = Executor::new(parallelism);
-        let matrix = DistanceMatrix::build_with(&graph, &exec);
-        let state = MatchState::initialise_with(&pattern, &graph, &matrix, &exec);
+        let oracle = backend.build(&graph, &exec);
+        let state = MatchState::initialise_with(&pattern, &graph, oracle.as_ref(), &exec);
         IncrementalMatcher {
             pattern,
             graph,
-            matrix,
+            oracle,
             state,
             exec,
             recompute_fallbacks: 0,
@@ -70,9 +116,9 @@ impl IncrementalMatcher {
         &self.graph
     }
 
-    /// The maintained distance matrix `M`.
-    pub fn matrix(&self) -> &DistanceMatrix {
-        &self.matrix
+    /// The maintained distance oracle.
+    pub fn oracle(&self) -> &(dyn DistanceOracle + Send + Sync) {
+        self.oracle.as_ref()
     }
 
     /// The current maximum match (`∅` if the pattern is not matched).
@@ -118,7 +164,7 @@ impl IncrementalMatcher {
             EdgeUpdate::Delete(a, b) => match_minus(
                 &self.pattern,
                 &mut self.graph,
-                &mut self.matrix,
+                self.oracle.as_mut(),
                 &mut self.state,
                 a,
                 b,
@@ -128,19 +174,14 @@ impl IncrementalMatcher {
                     match_plus(
                         &self.pattern,
                         &mut self.graph,
-                        &mut self.matrix,
+                        self.oracle.as_mut(),
                         &mut self.state,
                         a,
                         b,
                     )
                 } else {
                     self.graph.add_edge(a, b)?;
-                    let aff1 = update_matrix_with(
-                        &self.graph,
-                        &mut self.matrix,
-                        EdgeUpdate::Insert(a, b),
-                        &self.exec,
-                    );
+                    let aff1 = self.oracle.apply_insert(&self.graph, a, b, &self.exec);
                     self.recompute_state();
                     Ok(IncrementalOutcome::new(aff1, Default::default(), 0))
                 }
@@ -150,7 +191,7 @@ impl IncrementalMatcher {
 
     /// Applies a batch of updates.
     ///
-    /// DAG patterns use `IncMatch`; cyclic patterns maintain the matrix with
+    /// DAG patterns use `IncMatch`; cyclic patterns maintain the oracle with
     /// `UpdateBM` and recompute the match.
     pub fn apply_batch(
         &mut self,
@@ -160,7 +201,7 @@ impl IncrementalMatcher {
             return inc_match_with(
                 &self.pattern,
                 &mut self.graph,
-                &mut self.matrix,
+                self.oracle.as_mut(),
                 &mut self.state,
                 updates,
                 &self.exec,
@@ -172,15 +213,19 @@ impl IncrementalMatcher {
                 applied.push(*u);
             }
         }
-        let aff1 = update_matrix_batch_with(&self.graph, &mut self.matrix, &applied, &self.exec);
+        let aff1 = self.oracle.apply_batch(&self.graph, &applied, &self.exec);
         self.recompute_state();
         Ok(IncrementalOutcome::new(aff1, Default::default(), 0))
     }
 
     fn recompute_state(&mut self) {
         self.recompute_fallbacks += 1;
-        self.state =
-            MatchState::initialise_with(&self.pattern, &self.graph, &self.matrix, &self.exec);
+        self.state = MatchState::initialise_with(
+            &self.pattern,
+            &self.graph,
+            self.oracle.as_ref(),
+            &self.exec,
+        );
     }
 }
 
@@ -224,7 +269,7 @@ mod tests {
             let recomputed = bounded_simulation_with_oracle(
                 matcher.pattern(),
                 matcher.graph(),
-                matcher.matrix(),
+                matcher.oracle(),
             );
             assert_eq!(matcher.relation(), recomputed.relation);
         }
@@ -239,7 +284,7 @@ mod tests {
         let out = matcher.apply_batch(&updates).unwrap();
         assert_eq!(out.stats.aff1, out.aff1.len());
         let recomputed =
-            bounded_simulation_with_oracle(matcher.pattern(), matcher.graph(), matcher.matrix());
+            bounded_simulation_with_oracle(matcher.pattern(), matcher.graph(), matcher.oracle());
         assert_eq!(matcher.relation(), recomputed.relation);
     }
 
@@ -265,7 +310,7 @@ mod tests {
         matcher.apply(EdgeUpdate::Insert(x, y)).unwrap();
         assert_eq!(matcher.recompute_fallbacks(), 1);
         let recomputed =
-            bounded_simulation_with_oracle(matcher.pattern(), matcher.graph(), matcher.matrix());
+            bounded_simulation_with_oracle(matcher.pattern(), matcher.graph(), matcher.oracle());
         assert_eq!(matcher.relation(), recomputed.relation);
 
         // Batch with a cyclic pattern also falls back but stays consistent.
@@ -273,7 +318,7 @@ mod tests {
         matcher.apply_batch(&updates).unwrap();
         assert_eq!(matcher.recompute_fallbacks(), 2);
         let recomputed =
-            bounded_simulation_with_oracle(matcher.pattern(), matcher.graph(), matcher.matrix());
+            bounded_simulation_with_oracle(matcher.pattern(), matcher.graph(), matcher.oracle());
         assert_eq!(matcher.relation(), recomputed.relation);
     }
 
@@ -290,7 +335,7 @@ mod tests {
                 let recomputed = bounded_simulation_with_oracle(
                     matcher.pattern(),
                     matcher.graph(),
-                    matcher.matrix(),
+                    matcher.oracle(),
                 );
                 assert_eq!(matcher.relation(), recomputed.relation);
             }
@@ -303,13 +348,52 @@ mod tests {
         let matcher = IncrementalMatcher::new(dag_pattern(), g);
         assert_eq!(matcher.pattern().node_count(), 3);
         assert_eq!(matcher.graph().node_count(), 25);
-        assert_eq!(matcher.matrix().node_count(), 25);
+        assert!(matcher.oracle().supports_incremental());
+        assert!(matcher.oracle().memory_bytes() > 0);
         let rg = matcher.result_graph();
         if matcher.is_match() {
             assert!(!rg.is_empty());
         } else {
             assert!(rg.is_empty());
         }
+        // Cloning duplicates the backend through `clone_box`.
+        let copy = matcher.clone();
+        assert_eq!(copy.relation(), matcher.relation());
+        assert_eq!(copy.oracle().name(), matcher.oracle().name());
+    }
+
+    /// The matcher stays consistent on the two-hop backend, across unit and
+    /// batch updates and both update directions.
+    #[test]
+    fn two_hop_backend_keeps_matcher_consistent() {
+        use gpm_distance::OracleBackend;
+        let g = random_graph(&RandomGraphConfig::new(35, 80, 4).with_seed(17));
+        let mut matcher = IncrementalMatcher::with_backend(
+            dag_pattern(),
+            g.clone(),
+            OracleBackend::TwoHop,
+            Parallelism::sequential(),
+        );
+        assert_eq!(matcher.oracle().name(), "two-hop");
+        let updates = random_updates(&g, &UpdateStreamConfig::mixed(20).with_seed(18));
+        for u in updates {
+            matcher.apply(u).unwrap();
+            let recomputed = bounded_simulation_with_oracle(
+                matcher.pattern(),
+                matcher.graph(),
+                matcher.oracle(),
+            );
+            assert_eq!(matcher.relation(), recomputed.relation);
+        }
+        let more = random_updates(
+            matcher.graph(),
+            &UpdateStreamConfig::mixed(15).with_seed(19),
+        );
+        matcher.apply_batch(&more).unwrap();
+        let recomputed =
+            bounded_simulation_with_oracle(matcher.pattern(), matcher.graph(), matcher.oracle());
+        assert_eq!(matcher.relation(), recomputed.relation);
+        assert_eq!(matcher.recompute_fallbacks(), 0);
     }
 
     #[test]

@@ -23,8 +23,8 @@ use crate::affected::Aff2;
 use crate::delete::process_removals;
 use crate::insert::process_additions;
 use crate::state::MatchState;
-use gpm_distance::{AffectedPairs, DistanceMatrix};
-use gpm_graph::{GraphError, NodeId, PatternGraph};
+use gpm_distance::{AffectedPairs, DistanceOracle};
+use gpm_graph::{DataGraph, GraphError, NodeId, PatternGraph};
 use rustc_hash::FxHashSet;
 
 /// The result of one per-query repair pass: the match-pair delta and the
@@ -54,8 +54,9 @@ pub fn split_aff1_sources(aff1: &AffectedPairs) -> (FxHashSet<NodeId>, FxHashSet
 
 /// Repairs one query's match state from a shared, precomputed `AFF1`.
 ///
-/// `matrix` must already reflect the updates that produced `aff1` (i.e. the
-/// caller ran `update_matrix[_batch]` first). Removals are processed before
+/// `oracle` must already reflect the updates that produced `aff1` (i.e. the
+/// caller ran the oracle's `apply_*` maintenance first), and `graph` must be
+/// the updated graph the oracle answers for. Removals are processed before
 /// additions, exactly as `IncMatch` does, so the repaired state equals a
 /// from-scratch recomputation on the updated graph.
 ///
@@ -63,9 +64,10 @@ pub fn split_aff1_sources(aff1: &AffectedPairs) -> (FxHashSet<NodeId>, FxHashSet
 /// untouched — when `aff1` contains distance decreases and `pattern` is
 /// cyclic (the combination upward propagation cannot handle; see the module
 /// docs of [`crate::insert`]).
-pub fn repair_match_state(
+pub fn repair_match_state<O: DistanceOracle + ?Sized>(
     pattern: &PatternGraph,
-    matrix: &DistanceMatrix,
+    graph: &DataGraph,
+    oracle: &O,
     state: &mut MatchState,
     aff1: &AffectedPairs,
 ) -> Result<RepairOutcome, GraphError> {
@@ -78,7 +80,8 @@ pub fn repair_match_state(
     let mut verifications = 0usize;
     process_removals(
         pattern,
-        matrix,
+        graph,
+        oracle,
         state,
         &increased,
         &mut aff2,
@@ -87,7 +90,8 @@ pub fn repair_match_state(
     let mut additions = Aff2::default();
     process_additions(
         pattern,
-        matrix,
+        graph,
+        oracle,
         state,
         &decreased,
         &mut additions,
@@ -153,7 +157,7 @@ mod tests {
             let aff1 = update_matrix_batch(&g, &mut m, &applied);
 
             for (p, s) in patterns.iter().zip(states.iter_mut()) {
-                repair_match_state(p, &m, s, &aff1).unwrap();
+                repair_match_state(p, &g, &m, s, &aff1).unwrap();
                 let recomputed = bounded_simulation_with_oracle(p, &g, &m);
                 assert_eq!(s.relation(), recomputed.relation, "seed {seed}");
             }
@@ -176,7 +180,7 @@ mod tests {
             .collect();
         let aff1 = update_matrix_batch(&g, &mut m, &applied);
         if aff1.iter().any(|pr| !pr.increased()) {
-            let err = repair_match_state(&p, &m, &mut s, &aff1);
+            let err = repair_match_state(&p, &g, &m, &mut s, &aff1);
             assert_eq!(err.unwrap_err(), GraphError::PatternNotAcyclic);
             assert_eq!(s, before, "failed repair must not touch the state");
         }
@@ -199,9 +203,54 @@ mod tests {
                 .copied()
                 .collect();
             let aff1 = update_matrix_batch(&g, &mut m, &applied);
-            repair_match_state(&p, &m, &mut s, &aff1).unwrap();
+            repair_match_state(&p, &g, &m, &mut s, &aff1).unwrap();
             let recomputed = bounded_simulation_with_oracle(&p, &g, &m);
             assert_eq!(s.relation(), recomputed.relation, "seed {seed}");
+        }
+    }
+
+    /// The repair entry point is generic over the oracle: driving it with the
+    /// incremental 2-hop labeling produces the same states as the matrix —
+    /// including the PR 5 cyclic-pattern deletion-only path, which must stay
+    /// incremental (no `PatternNotAcyclic` error) on a non-matrix backend.
+    #[test]
+    fn repair_with_two_hop_oracle_matches_matrix() {
+        use gpm_distance::{DistanceMatrix, DistanceOracle as _, IncrementalTwoHop};
+        use gpm_exec::Executor;
+
+        let sorted = |a: &AffectedPairs| {
+            let mut v: Vec<_> = a.iter().map(|p| (p.source, p.sink, p.old, p.new)).collect();
+            v.sort_unstable();
+            v
+        };
+        for seed in 0..4u64 {
+            let mut g = random_graph(&RandomGraphConfig::new(28, 64, 4).with_seed(seed));
+            let exec = Executor::sequential();
+            let p_dag = dag_pattern();
+            let p_cyc = cyclic_pattern();
+            let mut matrix = DistanceMatrix::build(&g);
+            let mut two_hop = IncrementalTwoHop::build_with(&g, &exec);
+            let mut s_dag = MatchState::initialise(&p_dag, &g, &two_hop);
+            let mut s_cyc = MatchState::initialise(&p_cyc, &g, &two_hop);
+
+            // Deletions only, so even the cyclic pattern repairs incrementally.
+            let updates =
+                random_updates(&g, &UpdateStreamConfig::deletions(10).with_seed(seed + 70));
+            let applied: Vec<EdgeUpdate> = updates
+                .iter()
+                .filter(|u| u.apply(&mut g))
+                .copied()
+                .collect();
+            let aff_matrix = matrix.apply_batch(&g, &applied, &exec);
+            let aff_two_hop = two_hop.apply_batch(&g, &applied, &exec);
+            assert_eq!(sorted(&aff_matrix), sorted(&aff_two_hop), "seed {seed}");
+
+            repair_match_state(&p_dag, &g, &two_hop, &mut s_dag, &aff_two_hop).unwrap();
+            repair_match_state(&p_cyc, &g, &two_hop, &mut s_cyc, &aff_two_hop).unwrap();
+            for (p, s) in [(&p_dag, &s_dag), (&p_cyc, &s_cyc)] {
+                let recomputed = bounded_simulation_with_oracle(p, &g, &matrix);
+                assert_eq!(s.relation(), recomputed.relation, "seed {seed}");
+            }
         }
     }
 

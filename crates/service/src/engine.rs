@@ -1,10 +1,10 @@
 //! The continuous-query engine: one evolving graph, many standing patterns.
 //!
 //! [`MatchService`] owns the shared state every registered query needs — the
-//! data graph and its all-pairs distance matrix — and multiplexes update
+//! data graph and its maintained distance oracle — and multiplexes update
 //! batches across the catalog:
 //!
-//! 1. the batch is applied to the graph and the matrix is maintained with
+//! 1. the batch is applied to the graph and the oracle is maintained with
 //!    `UpdateBM` **once**, producing the shared affected area `AFF1`
 //!    (this is the expensive step, and it is paid per batch, not per query);
 //! 2. every active query repairs its own match state from that shared
@@ -18,12 +18,16 @@
 //! Cyclic patterns are first-class: batches that only increase distances
 //! repair them incrementally (`Match−` propagation); batches with distance
 //! decreases fall back to recomputing that query's state against the
-//! already-maintained matrix — never the matrix itself.
+//! already-maintained oracle — never the oracle itself.
+//!
+//! The distance backend is pluggable ([`MatchService::with_backend`] /
+//! `GPM_ORACLE`): the paper's quadratic matrix, or the sublinear-memory
+//! incremental 2-hop labeling for graphs where `|V|²` does not fit.
 
 use crate::catalog::{BatchWork, QueryCatalog, QueryEntry, RepairKind};
 use crate::delta::{MatchDelta, QueryId, Subscription};
 use gpm_core::MatchRelation;
-use gpm_distance::{update_matrix_batch_with, AffectedPairs, DistanceMatrix, EdgeUpdate};
+use gpm_distance::{AffectedPairs, DistanceOracle, EdgeUpdate, OracleBackend};
 use gpm_exec::{Executor, Parallelism};
 use gpm_graph::{DataGraph, GraphError, PatternGraph};
 use gpm_incremental::{repair_match_state, MatchState};
@@ -101,31 +105,52 @@ pub struct BatchOutcome {
 /// // Subscribers see the same stream: snapshot + the batch delta.
 /// assert_eq!(sub.drain().len(), 2);
 /// ```
-#[derive(Debug)]
 pub struct MatchService {
     graph: DataGraph,
-    matrix: DistanceMatrix,
+    oracle: Box<dyn DistanceOracle + Send + Sync>,
     exec: Executor,
     catalog: QueryCatalog,
     epoch: u64,
     stats: ServiceStats,
 }
 
+impl std::fmt::Debug for MatchService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MatchService")
+            .field("graph", &self.graph)
+            .field("oracle", &self.oracle.name())
+            .field("catalog", &self.catalog)
+            .field("epoch", &self.epoch)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
 impl MatchService {
-    /// Builds the service around a data graph: the shared distance matrix is
-    /// computed once, up front, on the process-default [`Parallelism`].
+    /// Builds the service around a data graph: the shared distance oracle is
+    /// computed once, up front, on the process-default [`Parallelism`]. The
+    /// backend comes from [`OracleBackend::from_env`] (`GPM_ORACLE`).
     pub fn new(graph: DataGraph) -> Self {
         Self::with_parallelism(graph, Parallelism::from_env())
     }
 
     /// [`MatchService::new`] with an explicit [`Parallelism`] policy, used
-    /// for the matrix build, query registration and every batch's fan-out.
+    /// for the oracle build, query registration and every batch's fan-out.
     pub fn with_parallelism(graph: DataGraph, parallelism: Parallelism) -> Self {
+        Self::with_backend(graph, OracleBackend::from_env(), parallelism)
+    }
+
+    /// Builds the service on an explicitly selected distance backend.
+    pub fn with_backend(
+        graph: DataGraph,
+        backend: OracleBackend,
+        parallelism: Parallelism,
+    ) -> Self {
         let exec = Executor::new(parallelism);
-        let matrix = DistanceMatrix::build_with(&graph, &exec);
+        let oracle = backend.build(&graph, &exec);
         MatchService {
             graph,
-            matrix,
+            oracle,
             exec,
             catalog: QueryCatalog::new(),
             epoch: 0,
@@ -138,9 +163,9 @@ impl MatchService {
         &self.graph
     }
 
-    /// The shared, maintained distance matrix.
-    pub fn matrix(&self) -> &DistanceMatrix {
-        &self.matrix
+    /// The shared, maintained distance oracle.
+    pub fn oracle(&self) -> &(dyn DistanceOracle + Send + Sync) {
+        self.oracle.as_ref()
     }
 
     /// The query catalog (read access).
@@ -161,7 +186,8 @@ impl MatchService {
     /// Registers a standing pattern; its initial match is computed against
     /// the current graph immediately. Returns the query's stable id.
     pub fn register(&mut self, pattern: PatternGraph) -> QueryId {
-        let state = MatchState::initialise_with(&pattern, &self.graph, &self.matrix, &self.exec);
+        let state =
+            MatchState::initialise_with(&pattern, &self.graph, self.oracle.as_ref(), &self.exec);
         let emitted = state.relation();
         self.catalog.register(pattern, state, emitted)
     }
@@ -221,15 +247,15 @@ impl MatchService {
     /// their folded stream always equals the returned relation. Returns
     /// `None` for unknown or suspended queries.
     pub fn result(&mut self, id: QueryId) -> Option<MatchRelation> {
-        // Split borrows: the entry is mutated, graph/matrix/exec are read.
-        let (graph, matrix, exec) = (&self.graph, &self.matrix, &self.exec);
+        // Split borrows: the entry is mutated, graph/oracle/exec are read.
+        let (graph, oracle, exec) = (&self.graph, self.oracle.as_ref(), &self.exec);
         let epoch = self.epoch;
         let entry = self.catalog.get_mut(id)?;
         if !entry.active {
             return None;
         }
         if entry.state.is_none() {
-            let state = MatchState::initialise_with(&entry.pattern, graph, matrix, exec);
+            let state = MatchState::initialise_with(&entry.pattern, graph, oracle, exec);
             let visible = state.relation();
             entry.state = Some(state);
             self.stats.activations += 1;
@@ -277,15 +303,15 @@ impl MatchService {
             AffectedPairs::default()
         } else {
             self.stats.aff_computations += 1;
-            update_matrix_batch_with(&self.graph, &mut self.matrix, &applied, &self.exec)
+            self.oracle.apply_batch(&self.graph, &applied, &self.exec)
         };
 
         // Step 2: fan the per-query repair out across the executor. Each
         // task owns one query's state; merges are per-entry slots, so the
-        // result is independent of scheduling. A batch that left the matrix
+        // result is independent of scheduling. A batch that left the oracle
         // untouched cannot change any up-to-date query, so only lazily
         // resumed entries (no state yet) need work then.
-        let (graph, matrix, exec) = (&self.graph, &self.matrix, &self.exec);
+        let (graph, oracle, exec) = (&self.graph, self.oracle.as_ref(), &self.exec);
         let epoch = self.epoch;
         let mut work: Vec<&mut QueryEntry> = self
             .catalog
@@ -294,7 +320,7 @@ impl MatchService {
             .collect();
         exec.par_chunks_mut(&mut work, 1, |_, chunk| {
             for entry in chunk.iter_mut() {
-                repair_entry(entry, graph, matrix, &aff1, epoch);
+                repair_entry(entry, graph, oracle, &aff1, epoch);
             }
         });
 
@@ -337,7 +363,7 @@ impl MatchService {
 }
 
 /// Brings one query's state up to date against the already-maintained
-/// matrix and parks the resulting delta in the entry's pending slot. Runs
+/// oracle and parks the resulting delta in the entry's pending slot. Runs
 /// inside the fan-out region, so everything here must be deterministic —
 /// the state build and repair are bit-identical at any thread count, and
 /// the per-query executor is sequential (the batch-level fan-out is the
@@ -345,7 +371,7 @@ impl MatchService {
 fn repair_entry(
     entry: &mut QueryEntry,
     graph: &DataGraph,
-    matrix: &DistanceMatrix,
+    oracle: &(dyn DistanceOracle + Send + Sync),
     aff1: &AffectedPairs,
     epoch: u64,
 ) {
@@ -355,17 +381,17 @@ fn repair_entry(
             entry.state = Some(MatchState::initialise_with(
                 &entry.pattern,
                 graph,
-                matrix,
+                oracle,
                 &seq,
             ));
             (RepairKind::Activation, 0)
         }
-        Some(state) => match repair_match_state(&entry.pattern, matrix, state, aff1) {
+        Some(state) => match repair_match_state(&entry.pattern, graph, oracle, state, aff1) {
             Ok(out) => (RepairKind::Incremental, out.verifications),
             Err(GraphError::PatternNotAcyclic) => {
                 // Cyclic pattern with distance decreases: rebuild this
-                // query's state; the shared matrix is already correct.
-                *state = MatchState::initialise_with(&entry.pattern, graph, matrix, &seq);
+                // query's state; the shared oracle is already correct.
+                *state = MatchState::initialise_with(&entry.pattern, graph, oracle, &seq);
                 (RepairKind::Recompute, 0)
             }
             Err(e) => unreachable!("repair cannot fail otherwise: {e}"),
@@ -424,7 +450,7 @@ mod tests {
                 continue;
             };
             let pattern = svc.catalog().get(id).unwrap().pattern().clone();
-            let recomputed = bounded_simulation_with_oracle(&pattern, svc.graph(), svc.matrix());
+            let recomputed = bounded_simulation_with_oracle(&pattern, svc.graph(), svc.oracle());
             assert_eq!(result, recomputed.relation, "query {id} diverged");
         }
     }
@@ -457,8 +483,40 @@ mod tests {
         assert_eq!(svc.stats().repairs, 20);
         assert_eq!(svc.stats().recompute_fallbacks, 0);
 
-        // The maintained matrix equals a from-scratch rebuild.
-        assert_eq!(svc.matrix(), &DistanceMatrix::build(svc.graph()));
+        // The maintained oracle equals a from-scratch matrix rebuild.
+        let rebuilt = gpm_distance::DistanceMatrix::build(svc.graph());
+        let n = svc.graph().node_count() as u32;
+        for x in (0..n).map(gpm_graph::NodeId::new) {
+            for y in (0..n).map(gpm_graph::NodeId::new) {
+                assert_eq!(
+                    svc.oracle().nonempty_distance(svc.graph(), x, y),
+                    rebuilt.nonempty_distance(x, y),
+                    "oracle diverged at ({x:?}, {y:?})"
+                );
+            }
+        }
+    }
+
+    /// The whole engine — registration, batches, cyclic fallbacks, lazy
+    /// resume — works unchanged on the 2-hop backend.
+    #[test]
+    fn two_hop_backend_runs_the_service() {
+        let g = random_graph(&RandomGraphConfig::new(35, 90, 5).with_seed(21));
+        let mut svc = MatchService::with_backend(g, OracleBackend::TwoHop, Parallelism::from_env());
+        assert_eq!(svc.oracle().name(), "two-hop");
+        let ids = vec![
+            svc.register(dag_pattern(["a0", "a1", "a2"])),
+            svc.register(cyclic_pattern()),
+        ];
+        for round in 0..5u64 {
+            let updates = random_updates(
+                svc.graph(),
+                &UpdateStreamConfig::mixed(12).with_seed(round * 3 + 11),
+            );
+            svc.apply(&updates);
+            assert_consistent(&mut svc, &ids);
+        }
+        assert_eq!(svc.stats().aff_computations, 5);
     }
 
     #[test]

@@ -58,7 +58,7 @@ fn main() {
 
         let t_batch = Instant::now();
         let recomputed =
-            bounded_simulation_with_oracle(matcher.pattern(), matcher.graph(), matcher.matrix());
+            bounded_simulation_with_oracle(matcher.pattern(), matcher.graph(), matcher.oracle());
         let batch_time = t_batch.elapsed();
 
         assert_eq!(

@@ -1,0 +1,204 @@
+//! Adversarial topologies for the distance back-ends: the deterministic
+//! worst-case generators from `gpm::datagen::adversarial` driven through
+//! both maintainable oracles, asserting (a) bit-identical behaviour and
+//! (b) *where* the 2-hop backend's incremental repair degrades to a counted
+//! full rebuild ([`gpm::DistanceOracle::rebuilds`]).
+//!
+//! The degradation map these tests pin down:
+//!
+//! | script | 2-hop repair path | rebuilds |
+//! |--------|-------------------|----------|
+//! | insertions (any topology) | resumed pruned BFS | 0 |
+//! | cut chain at the head (`k = 0`) | in-place row repair — nothing reaches the head | 0 |
+//! | cut chain mid-way (`k > 0`) | upstream sources exist → rebuild | 1 |
+//! | delete every hub→leaf star edge | every deletion strands a leaf | 1 per edge |
+//! | cut a clique bridge | the whole upstream clique reaches the cut | 1 |
+
+use gpm::datagen::{
+    cliques_with_bridges, cut_bridge_updates, cut_chain_updates, deep_chain, delete_hub_updates,
+    grid, star,
+};
+use gpm::{DataGraph, DistanceOracle, EdgeUpdate, Executor, NodeId, OracleBackend, Parallelism};
+
+fn exec() -> Executor {
+    Executor::new(Parallelism::new(2).with_sequential_threshold(0))
+}
+
+fn assert_backends_agree(
+    g: &DataGraph,
+    matrix: &dyn DistanceOracle,
+    two_hop: &dyn DistanceOracle,
+    ctx: &str,
+) {
+    let n = g.node_count() as u32;
+    for x in (0..n).map(NodeId::new) {
+        for y in (0..n).map(NodeId::new) {
+            assert_eq!(
+                matrix.nonempty_distance(g, x, y),
+                two_hop.nonempty_distance(g, x, y),
+                "{ctx}: backends disagree at ({x:?}, {y:?})"
+            );
+        }
+    }
+}
+
+/// `AFF1` as a canonically ordered set.
+fn sorted_aff(aff: &gpm::distance::AffectedPairs) -> Vec<(u32, u32, u16, u16)> {
+    let mut v: Vec<_> = aff
+        .iter()
+        .map(|p| (p.source.0, p.sink.0, p.old, p.new))
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+/// Drives `script` unit-by-unit through both back-ends on `g`, asserting
+/// identical `AFF1` and all-pairs agreement after every update; returns the
+/// 2-hop backend's rebuild count.
+fn drive(mut g: DataGraph, script: &[EdgeUpdate], label: &str) -> usize {
+    let exec = exec();
+    let mut matrix = OracleBackend::Matrix.build(&g, &exec);
+    let mut two_hop = OracleBackend::TwoHop.build(&g, &exec);
+    assert_backends_agree(
+        &g,
+        matrix.as_ref(),
+        two_hop.as_ref(),
+        &format!("{label}: initial"),
+    );
+
+    for (i, u) in script.iter().enumerate() {
+        assert!(
+            u.apply(&mut g),
+            "{label}: script update {i} ({u}) must apply"
+        );
+        let (a, b) = u.endpoints();
+        let (aff_m, aff_t) = if u.is_insert() {
+            (
+                matrix.apply_insert(&g, a, b, &exec),
+                two_hop.apply_insert(&g, a, b, &exec),
+            )
+        } else {
+            (
+                matrix.apply_delete(&g, a, b, &exec),
+                two_hop.apply_delete(&g, a, b, &exec),
+            )
+        };
+        assert_eq!(
+            sorted_aff(&aff_m),
+            sorted_aff(&aff_t),
+            "{label}: AFF1 diverged at update {i} ({u})"
+        );
+        assert_backends_agree(
+            &g,
+            matrix.as_ref(),
+            two_hop.as_ref(),
+            &format!("{label}: after update {i}"),
+        );
+    }
+    assert_eq!(matrix.rebuilds(), 0, "the matrix never falls back");
+    two_hop.rebuilds()
+}
+
+/// Cutting the chain at its head only changes the head's own row, and
+/// nothing reaches the head — the one deletion the 2-hop backend can repair
+/// fully in place.
+#[test]
+fn chain_cut_at_head_repairs_in_place() {
+    let rebuilds = drive(deep_chain(64), &cut_chain_updates(64, 0), "chain k=0");
+    assert_eq!(rebuilds, 0, "head cut must not trigger a rebuild");
+}
+
+/// Cutting the chain mid-way invalidates the distances of every upstream
+/// node past the cut: decremental label repair is unsound there, so the
+/// backend takes exactly one counted rebuild.
+#[test]
+fn chain_cut_midway_degrades_to_one_rebuild() {
+    let rebuilds = drive(deep_chain(64), &cut_chain_updates(64, 31), "chain k=31");
+    assert_eq!(rebuilds, 1, "mid-chain cut degrades to a single rebuild");
+}
+
+/// Deleting the star hub's out-edges one by one strands one leaf per
+/// deletion while the remaining leaves still reach the hub — the worst
+/// case: every single deletion degrades to a rebuild.
+#[test]
+fn star_hub_teardown_rebuilds_per_deletion() {
+    const LEAVES: usize = 24;
+    let rebuilds = drive(star(LEAVES), &delete_hub_updates(LEAVES), "star hub");
+    assert_eq!(
+        rebuilds, LEAVES,
+        "every hub-edge deletion strands a leaf and forces a rebuild"
+    );
+}
+
+/// Cutting a bridge between cliques disconnects everything upstream from
+/// everything downstream — one rebuild, after which both back-ends agree
+/// the components are mutually unreachable.
+#[test]
+fn clique_bridge_cut_rebuilds_once() {
+    const CLIQUES: usize = 3;
+    const SIZE: usize = 5;
+    let rebuilds = drive(
+        cliques_with_bridges(CLIQUES, SIZE),
+        &cut_bridge_updates(CLIQUES, SIZE, 1),
+        "bridge q=1",
+    );
+    assert_eq!(rebuilds, 1, "one bridge cut, one rebuild");
+}
+
+/// Insertions never rebuild, even on the high-diameter grid where a single
+/// shortcut changes a quadratic number of distances.
+#[test]
+fn grid_shortcut_insertions_never_rebuild() {
+    const ROWS: usize = 8;
+    const COLS: usize = 8;
+    let g = grid(ROWS, COLS);
+    // Diagonal shortcuts (r, c) → (r+1, c+1) down the main diagonal: each
+    // one halves a stretch of grid detours.
+    let script: Vec<EdgeUpdate> = (0..ROWS.min(COLS) - 1)
+        .map(|i| {
+            EdgeUpdate::Insert(
+                NodeId::new((i * COLS + i) as u32),
+                NodeId::new(((i + 1) * COLS + i + 1) as u32),
+            )
+        })
+        .collect();
+    let rebuilds = drive(g, &script, "grid diagonal");
+    assert_eq!(rebuilds, 0, "insert repair never falls back");
+}
+
+/// Worst-case scripts applied through the *batch* surface give the same
+/// end state as unit application (the star teardown ends with every leaf
+/// pair unreachable and hub→leaf gone, leaf→hub intact).
+#[test]
+fn star_teardown_batch_matches_unit_semantics() {
+    const LEAVES: usize = 12;
+    let exec = exec();
+    let g0 = star(LEAVES);
+    let script = delete_hub_updates(LEAVES);
+
+    let mut g = g0.clone();
+    let mut oracle = OracleBackend::TwoHop.build(&g0, &exec);
+    for u in &script {
+        assert!(u.apply(&mut g));
+    }
+    oracle.apply_batch(&g, &script, &exec);
+
+    let hub = NodeId::new(0);
+    for leaf in (1..=LEAVES as u32).map(NodeId::new) {
+        assert_eq!(
+            oracle.nonempty_distance(&g, hub, leaf),
+            None,
+            "hub must no longer reach {leaf:?}"
+        );
+        assert_eq!(
+            oracle.nonempty_distance(&g, leaf, hub),
+            Some(1),
+            "leaf→hub edges survive the teardown"
+        );
+    }
+    assert_eq!(
+        oracle.rebuilds(),
+        LEAVES,
+        "the batch replays unit deletions, one rebuild each"
+    );
+}

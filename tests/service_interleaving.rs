@@ -35,9 +35,25 @@ struct Tracked {
     suspended: bool,
 }
 
+/// The service's maintained oracle answers every pair like a matrix rebuilt
+/// from scratch on its current graph.
+fn assert_service_oracle_fresh(svc: &MatchService, context: &str) {
+    let rebuilt = DistanceMatrix::build(svc.graph());
+    let n = svc.graph().node_count() as u32;
+    for x in (0..n).map(gpm::NodeId::new) {
+        for y in (0..n).map(gpm::NodeId::new) {
+            assert_eq!(
+                svc.oracle().nonempty_distance(svc.graph(), x, y),
+                rebuilt.nonempty_distance(x, y),
+                "oracle diverged at ({x:?}, {y:?}) {context}"
+            );
+        }
+    }
+}
+
 fn check_live_queries(svc: &mut MatchService, tracked: &[Tracked], context: &str) {
     let rebuilt = DistanceMatrix::build(svc.graph());
-    assert_eq!(svc.matrix(), &rebuilt, "matrix diverged {context}");
+    assert_service_oracle_fresh(svc, context);
     for t in tracked {
         if t.suspended {
             assert!(
@@ -215,11 +231,11 @@ fn degenerate_schedules_are_absorbed() {
     let g = labelled_graph(20, 50, 3, 9);
     let mut svc = MatchService::new(g.clone());
 
-    // No queries registered: updates still maintain graph + matrix.
+    // No queries registered: updates still maintain graph + oracle.
     let updates = random_updates(&g, &UpdateStreamConfig::mixed(8).with_seed(10));
     let out = svc.apply(&updates);
     assert!(out.deltas.is_empty());
-    assert_eq!(svc.matrix(), &DistanceMatrix::build(svc.graph()));
+    assert_service_oracle_fresh(&svc, "with an empty catalog");
 
     // A batch of pure no-ops: duplicate insert, missing delete, unknown node.
     let (a, b) = svc.graph().edges().next().unwrap();
