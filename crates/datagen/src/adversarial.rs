@@ -17,11 +17,16 @@
 //!   pruning-order sensitivity;
 //! * [`cliques_with_bridges`] — dense clusters joined by single bridge
 //!   edges. Distances are bimodal (1 inside a clique, long across bridges)
-//!   and deleting one bridge disconnects half the graph from the other.
+//!   and deleting one bridge disconnects half the graph from the other;
+//! * [`bowtie`] — `wing` sources fanning into a single waist node that fans
+//!   out to `wing` sinks. Every source→sink path crosses the waist, so the
+//!   waist's label carries `Θ(wing²)` pairs: deleting one `waist → sink`
+//!   edge strands that sink from **every** source at once, while deleting a
+//!   `source → waist` edge only empties that source's own row.
 //!
 //! The companion update scripts ([`cut_chain_updates`],
-//! [`delete_hub_updates`], [`cut_bridge_updates`]) are the matching
-//! worst-case deltas. The root-level `adversarial_topologies` integration
+//! [`delete_hub_updates`], [`cut_bridge_updates`], [`sever_waist_updates`])
+//! are the matching worst-case deltas. The root-level `adversarial_topologies` integration
 //! test drives both backends through every (topology, script) pair and
 //! asserts bit-identical distances — and records, via
 //! [`DistanceOracle::rebuilds`](gpm_distance::DistanceOracle::rebuilds),
@@ -174,6 +179,36 @@ pub fn cut_bridge_updates(cliques: usize, size: usize, q: usize) -> Vec<EdgeUpda
     )]
 }
 
+/// A bowtie: node 0 is the waist (label `"waist"`), nodes `1..=wing` are
+/// sources (label `"src"`, each with an edge into the waist) and nodes
+/// `wing+1..=2·wing` are sinks (label `"sink"`, each fed by the waist).
+/// `2 · wing` edges; every source→sink shortest path has length 2 and
+/// crosses the waist.
+pub fn bowtie(wing: usize) -> DataGraph {
+    let mut g = DataGraph::with_capacity(2 * wing + 1);
+    let waist = g.add_node(Attributes::labeled("waist").with("idx", 0i64));
+    for i in 0..wing {
+        let src = g.add_node(Attributes::labeled("src").with("idx", (i + 1) as i64));
+        g.add_edge(src, waist).expect("fresh edge");
+    }
+    for i in 0..wing {
+        let sink = g.add_node(Attributes::labeled("sink").with("idx", (wing + i + 1) as i64));
+        g.add_edge(waist, sink).expect("fresh edge");
+    }
+    g.compact();
+    g
+}
+
+/// Severs a [`bowtie`]'s out-wing edge by edge: every `waist → sink` edge,
+/// in sink order. Each deletion strands one sink from the waist **and**
+/// every source simultaneously — the widest possible blast radius for a
+/// single edge, `wing + 1` rows invalidated per deletion.
+pub fn sever_waist_updates(wing: usize) -> Vec<EdgeUpdate> {
+    (0..wing)
+        .map(|i| EdgeUpdate::Delete(NodeId::new(0), NodeId::new((wing + i + 1) as u32)))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -224,6 +259,27 @@ mod tests {
     }
 
     #[test]
+    fn bowtie_shape() {
+        let wing = 6;
+        let g = bowtie(wing);
+        assert_eq!(g.node_count(), 2 * wing + 1);
+        assert_eq!(g.edge_count(), 2 * wing);
+        assert!(g.is_compact());
+        let waist = NodeId::new(0);
+        assert_eq!(g.attributes(waist).label(), Some("waist"));
+        assert_eq!(g.out_degree(waist), wing);
+        for i in 0..wing as u32 {
+            let (src, sink) = (NodeId::new(i + 1), NodeId::new(wing as u32 + i + 1));
+            assert_eq!(g.attributes(src).label(), Some("src"));
+            assert_eq!(g.attributes(sink).label(), Some("sink"));
+            assert!(g.has_edge(src, waist));
+            assert!(g.has_edge(waist, sink));
+            assert!(!g.has_edge(waist, src));
+            assert!(!g.has_edge(sink, waist));
+        }
+    }
+
+    #[test]
     fn scripts_apply_cleanly() {
         let mut g = deep_chain(16);
         for u in cut_chain_updates(16, 7) {
@@ -238,6 +294,11 @@ mod tests {
         for u in cut_bridge_updates(3, 4, 1) {
             assert!(u.apply(&mut g), "{u:?} must take effect");
         }
+        let mut g = bowtie(5);
+        for u in sever_waist_updates(5) {
+            assert!(u.apply(&mut g), "{u:?} must take effect");
+        }
+        assert_eq!(g.out_degree(NodeId::new(0)), 0, "waist reaches nothing");
     }
 
     #[test]

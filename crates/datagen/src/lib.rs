@@ -17,8 +17,8 @@
 //! * [`updates`] — random edge insertion/deletion streams for the incremental
 //!   experiments (Figures 6(i)–(k));
 //! * [`adversarial`] — deterministic worst-case topologies (star, deep
-//!   chain, grid, cliques-with-bridges) and matching update scripts for
-//!   stress-testing the pluggable distance backends;
+//!   chain, grid, cliques-with-bridges, bowtie) and matching update scripts
+//!   for stress-testing the pluggable distance backends;
 //! * [`source`] — [`DatasetSource`], abstracting "generate a stand-in" vs
 //!   "load a real crawl from disk" for the experiment harness;
 //! * [`export`] — writes any generated graph as an on-disk
@@ -56,8 +56,8 @@ pub mod source;
 pub mod updates;
 
 pub use adversarial::{
-    cliques_with_bridges, cut_bridge_updates, cut_chain_updates, deep_chain, delete_hub_updates,
-    grid, star,
+    bowtie, cliques_with_bridges, cut_bridge_updates, cut_chain_updates, deep_chain,
+    delete_hub_updates, grid, sever_waist_updates, star,
 };
 pub use datasets::{Dataset, DatasetSpec};
 pub use export::export_dataset;

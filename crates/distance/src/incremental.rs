@@ -25,9 +25,10 @@ use crate::UNREACHABLE;
 use gpm_exec::Executor;
 use gpm_graph::{DataGraph, NodeId};
 use rustc_hash::{FxHashMap, FxHashSet};
+use serde::{Deserialize, Serialize};
 
 /// A single edge update applied to a data graph.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum EdgeUpdate {
     /// Insert the edge `(from, to)`.
     Insert(NodeId, NodeId),

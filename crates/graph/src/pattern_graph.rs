@@ -40,7 +40,7 @@ pub struct PatternEdge {
 }
 
 /// A pattern graph.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct PatternGraph {
     nodes: Vec<PatternNode>,
     edges: Vec<PatternEdge>,

@@ -75,7 +75,7 @@ pub use delete::match_minus;
 pub use insert::match_plus;
 pub use maintainer::IncrementalMatcher;
 pub use repair::{repair_match_state, split_aff1_sources, RepairOutcome};
-pub use state::MatchState;
+pub use state::{MatchState, MatchStateSnapshot};
 
 /// Result alias for incremental operations.
 pub type Result<T> = std::result::Result<T, gpm_graph::GraphError>;

@@ -18,6 +18,7 @@ use gpm_core::{bounded_simulation_with_oracle_on, MatchRelation};
 use gpm_distance::DistanceOracle;
 use gpm_exec::Executor;
 use gpm_graph::{DataGraph, NodeId, PatternGraph, PatternNodeId};
+use serde::{Deserialize, Serialize};
 
 /// Per-pattern-node match and candidate sets.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -191,6 +192,97 @@ impl MatchState {
                 .collect(),
         )
     }
+
+    /// Folds the state into its canonical persisted form: per pattern node,
+    /// the ascending `NodeId` lists of the satisfaction and match sets (the
+    /// dense bitmap layout is an in-memory concern, not an encoding).
+    pub fn to_snapshot(&self) -> MatchStateSnapshot {
+        let ids = |row: &[bool]| -> Vec<u32> {
+            row.iter()
+                .enumerate()
+                .filter(|&(_v, &b)| b)
+                .map(|(v, &_b)| v as u32)
+                .collect()
+        };
+        MatchStateSnapshot {
+            nodes: self.satisfies.first().map_or(0, Vec::len),
+            satisfies: self.satisfies.iter().map(|r| ids(r)).collect(),
+            mat: self.mat.iter().map(|r| ids(r)).collect(),
+        }
+    }
+
+    /// Rebuilds a state from its persisted form. Errors (with a message
+    /// naming the defect) when the snapshot is internally inconsistent:
+    /// mismatched row counts, out-of-range node ids, unsorted/duplicated
+    /// lists, or a matched node that does not satisfy its predicate.
+    pub fn from_snapshot(snap: &MatchStateSnapshot) -> std::result::Result<Self, String> {
+        if snap.satisfies.len() != snap.mat.len() {
+            return Err(format!(
+                "match-state snapshot has {} satisfies rows but {} mat rows",
+                snap.satisfies.len(),
+                snap.mat.len()
+            ));
+        }
+        let nv = snap.nodes;
+        let fill = |list: &[u32], what: &str, u: usize| -> std::result::Result<Vec<bool>, String> {
+            let mut row = vec![false; nv];
+            let mut prev: Option<u32> = None;
+            for &v in list {
+                if (v as usize) >= nv {
+                    return Err(format!(
+                        "match-state snapshot: {what}[{u}] contains node {v} >= |V| = {nv}"
+                    ));
+                }
+                if prev.is_some_and(|p| p >= v) {
+                    return Err(format!(
+                        "match-state snapshot: {what}[{u}] is not strictly ascending at {v}"
+                    ));
+                }
+                prev = Some(v);
+                row[v as usize] = true;
+            }
+            Ok(row)
+        };
+        let mut satisfies = Vec::with_capacity(snap.satisfies.len());
+        let mut mat = Vec::with_capacity(snap.mat.len());
+        let mut live = Vec::with_capacity(snap.mat.len());
+        for (u, (sat, matched)) in snap.satisfies.iter().zip(&snap.mat).enumerate() {
+            let sat_row = fill(sat, "satisfies", u)?;
+            let mat_row = fill(matched, "mat", u)?;
+            if let Some(&v) = matched.iter().find(|&&v| !sat_row[v as usize]) {
+                return Err(format!(
+                    "match-state snapshot: mat[{u}] contains node {v} outside satisfies[{u}]"
+                ));
+            }
+            live.push(matched.len());
+            satisfies.push(sat_row);
+            mat.push(mat_row);
+        }
+        Ok(MatchState {
+            satisfies,
+            mat,
+            live,
+        })
+    }
+}
+
+/// The canonical serde encoding of a [`MatchState`] — what `gpm-service`
+/// persists per query inside a durability snapshot.
+///
+/// Node ids are stored as strictly ascending `u32` lists per pattern node,
+/// so equal states always serialize to identical bytes regardless of how
+/// they were produced (initialised from scratch, incrementally repaired, or
+/// recovered), and [`MatchState::from_snapshot`] can validate the shape
+/// before trusting it.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MatchStateSnapshot {
+    /// Data-graph node count (the width of every row).
+    pub nodes: usize,
+    /// Per pattern node: ascending data-node ids satisfying its predicate.
+    pub satisfies: Vec<Vec<u32>>,
+    /// Per pattern node: ascending data-node ids in the current match
+    /// (always a subset of the same row of `satisfies`).
+    pub mat: Vec<Vec<u32>>,
 }
 
 /// The per-node greatest fixpoint sets (naive iteration), *without* clearing

@@ -145,6 +145,57 @@ impl QueryCatalog {
         self.entries.iter_mut().find(|e| e.id == id)
     }
 
+    /// Rebuilds a catalog from recovered entries (durability layer).
+    ///
+    /// Entries must be in registration order with strictly ascending ids all
+    /// below `next_id`, or the persisted catalog could allocate a duplicate
+    /// id after recovery — rejected as corruption.
+    pub(crate) fn restore(next_id: u64, entries: Vec<QueryEntry>) -> Result<Self, String> {
+        let mut prev: Option<u64> = None;
+        for e in &entries {
+            if prev.is_some_and(|p| p >= e.id.0) {
+                return Err(format!(
+                    "catalog snapshot ids are not strictly ascending at {}",
+                    e.id
+                ));
+            }
+            if e.id.0 >= next_id {
+                return Err(format!(
+                    "catalog snapshot contains {} but next_id is only {next_id}",
+                    e.id
+                ));
+            }
+            prev = Some(e.id.0);
+        }
+        Ok(QueryCatalog { entries, next_id })
+    }
+
+    /// The id the next registration will be assigned (durability layer:
+    /// persisted so recovered services never reuse an id).
+    pub(crate) fn next_id(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Builds one recovered entry (no subscribers — subscriptions are
+    /// ephemeral and do not survive a restart).
+    pub(crate) fn restored_entry(
+        id: QueryId,
+        pattern: PatternGraph,
+        state: Option<MatchState>,
+        emitted: MatchRelation,
+        active: bool,
+    ) -> QueryEntry {
+        QueryEntry {
+            id,
+            pattern,
+            state,
+            emitted,
+            active,
+            subscribers: Vec::new(),
+            pending: None,
+        }
+    }
+
     /// Iterates over every entry in registration order.
     pub fn iter(&self) -> impl Iterator<Item = &QueryEntry> {
         self.entries.iter()

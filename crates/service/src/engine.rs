@@ -26,11 +26,14 @@
 
 use crate::catalog::{BatchWork, QueryCatalog, QueryEntry, RepairKind};
 use crate::delta::{MatchDelta, QueryId, Subscription};
+use crate::snapshot::{self, SNAPSHOT_DIR};
+use crate::wal::{self, DurabilityError, WalOp, WalReadOutcome, WalWriter, WAL_FILE};
 use gpm_core::MatchRelation;
 use gpm_distance::{AffectedPairs, DistanceOracle, EdgeUpdate, OracleBackend};
 use gpm_exec::{Executor, Parallelism};
 use gpm_graph::{DataGraph, GraphError, PatternGraph};
 use gpm_incremental::{repair_match_state, MatchState};
+use std::path::{Path, PathBuf};
 use std::sync::mpsc;
 
 /// Counters describing the work the service has done since construction.
@@ -73,6 +76,33 @@ pub struct BatchOutcome {
     pub deltas: Vec<MatchDelta>,
 }
 
+/// Knobs for a durable service (see [`MatchService::create_durable`]).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct DurableOptions {
+    /// Fold state into a fresh snapshot (and truncate the log) every this
+    /// many WAL records; `None` disables automatic snapshots — only
+    /// [`MatchService::snapshot_now`] folds. Smaller values mean faster
+    /// reopen, larger values mean less write amplification.
+    pub snapshot_every: Option<u64>,
+}
+
+impl Default for DurableOptions {
+    fn default() -> Self {
+        DurableOptions {
+            snapshot_every: Some(512),
+        }
+    }
+}
+
+/// The attached durability state of a durable service.
+struct Durability {
+    dir: PathBuf,
+    writer: WalWriter,
+    backend: OracleBackend,
+    snapshot_every: Option<u64>,
+    records_since_snapshot: u64,
+}
+
 /// A continuous multi-pattern matching service over one evolving graph.
 ///
 /// ```
@@ -112,6 +142,7 @@ pub struct MatchService {
     catalog: QueryCatalog,
     epoch: u64,
     stats: ServiceStats,
+    durability: Option<Durability>,
 }
 
 impl std::fmt::Debug for MatchService {
@@ -122,6 +153,7 @@ impl std::fmt::Debug for MatchService {
             .field("catalog", &self.catalog)
             .field("epoch", &self.epoch)
             .field("stats", &self.stats)
+            .field("durable_dir", &self.durability.as_ref().map(|d| &d.dir))
             .finish_non_exhaustive()
     }
 }
@@ -155,6 +187,253 @@ impl MatchService {
             catalog: QueryCatalog::new(),
             epoch: 0,
             stats: ServiceStats::default(),
+            durability: None,
+        }
+    }
+
+    /// Creates a **durable** service rooted at `dir`: an initial snapshot of
+    /// `graph` plus an empty write-ahead log, after which every mutating
+    /// call is persisted before it returns. Backend and parallelism come
+    /// from the environment (`GPM_ORACLE` / `GPM_THREADS`).
+    ///
+    /// Fails with [`DurabilityError::State`] if `dir` already holds a
+    /// durable service (reopen those with [`MatchService::open_durable`]).
+    ///
+    /// ```
+    /// use gpm_graph::{DataGraphBuilder, PatternGraphBuilder};
+    /// use gpm_distance::EdgeUpdate;
+    /// use gpm_service::{DurableOptions, MatchService};
+    ///
+    /// let dir = std::env::temp_dir().join(format!("gpm-durable-doc-{}", std::process::id()));
+    /// let (g, ids) = DataGraphBuilder::new()
+    ///     .labeled_node("boss")
+    ///     .labeled_node("worker")
+    ///     .build()
+    ///     .unwrap();
+    /// let (p, _) = PatternGraphBuilder::new()
+    ///     .labeled_node("boss")
+    ///     .labeled_node("worker")
+    ///     .edge("boss", "worker", 2u32)
+    ///     .build()
+    ///     .unwrap();
+    ///
+    /// let mut svc = MatchService::create_durable(&dir, g, DurableOptions::default()).unwrap();
+    /// let q = svc.register(p);
+    /// svc.apply(&[EdgeUpdate::Insert(ids["boss"], ids["worker"])]);
+    /// let live = svc.result(q).unwrap();
+    /// drop(svc); // "crash"
+    ///
+    /// // Reopen: snapshot + log replay rebuild the exact same state.
+    /// let mut svc = MatchService::open_durable(&dir, DurableOptions::default()).unwrap();
+    /// assert_eq!(svc.result(q).unwrap(), live);
+    /// std::fs::remove_dir_all(&dir).unwrap();
+    /// ```
+    pub fn create_durable(
+        dir: &Path,
+        graph: DataGraph,
+        opts: DurableOptions,
+    ) -> Result<Self, DurabilityError> {
+        Self::create_durable_with(
+            dir,
+            graph,
+            OracleBackend::from_env(),
+            Parallelism::from_env(),
+            opts,
+        )
+    }
+
+    /// [`MatchService::create_durable`] with explicit backend and
+    /// parallelism. The backend choice is persisted in the snapshot
+    /// manifest: reopening uses the *persisted* backend, not the
+    /// environment's, so a directory never silently switches oracle.
+    pub fn create_durable_with(
+        dir: &Path,
+        graph: DataGraph,
+        backend: OracleBackend,
+        parallelism: Parallelism,
+        opts: DurableOptions,
+    ) -> Result<Self, DurabilityError> {
+        std::fs::create_dir_all(dir)?;
+        if dir.join(WAL_FILE).exists() || dir.join(SNAPSHOT_DIR).exists() {
+            return Err(DurabilityError::State(format!(
+                "{} already holds a durable service — use open_durable",
+                dir.display()
+            )));
+        }
+        let mut svc = Self::with_backend(graph, backend, parallelism);
+        snapshot::write_snapshot(dir, &svc.graph, backend, 0, 0, &svc.catalog)?;
+        let writer = WalWriter::create(&dir.join(WAL_FILE), 0)?;
+        svc.durability = Some(Durability {
+            dir: dir.to_path_buf(),
+            writer,
+            backend,
+            snapshot_every: opts.snapshot_every,
+            records_since_snapshot: 0,
+        });
+        Ok(svc)
+    }
+
+    /// Reopens a durable service directory: loads the latest snapshot,
+    /// detects and truncates any torn WAL tail, replays the surviving
+    /// records through the normal engine paths, and resumes appending.
+    ///
+    /// The recovered service is **bit-identical** to the uninterrupted one:
+    /// subsequent [`BatchOutcome`]s, [`Subscription`] streams and
+    /// [`MatchService::result`]s are exactly what the original process
+    /// would have produced — on either oracle backend and at any thread
+    /// count (the differential recovery suite enforces this at every
+    /// possible crash point). Uses the process-default [`Parallelism`].
+    pub fn open_durable(dir: &Path, opts: DurableOptions) -> Result<Self, DurabilityError> {
+        Self::open_durable_with(dir, Parallelism::from_env(), opts)
+    }
+
+    /// [`MatchService::open_durable`] with an explicit [`Parallelism`].
+    pub fn open_durable_with(
+        dir: &Path,
+        parallelism: Parallelism,
+        opts: DurableOptions,
+    ) -> Result<Self, DurabilityError> {
+        let loaded = snapshot::load_snapshot(dir)?;
+        let backend = OracleBackend::parse(&loaded.manifest.backend).map_err(|e| {
+            DurabilityError::Corrupt(format!("manifest names an unknown backend: {e}"))
+        })?;
+        // Only the backend *choice* is persisted: both oracles are exact,
+        // so rebuilding one from the recovered graph reproduces every
+        // distance — and therefore every downstream match — bit for bit.
+        let mut svc = Self::with_backend(loaded.graph, backend, parallelism);
+        svc.epoch = loaded.manifest.epoch;
+        svc.catalog = snapshot::restore_catalog(&loaded.manifest, &svc.graph)?;
+
+        let wal_path = dir.join(WAL_FILE);
+        let outcome = if wal_path.exists() {
+            wal::read_wal(&wal_path)?
+        } else {
+            // Crash between the snapshot swap and the log reset: the
+            // snapshot alone is the complete state.
+            WalReadOutcome {
+                records: Vec::new(),
+                valid_len: 0,
+                torn_bytes: 0,
+            }
+        };
+        let mut next_seq = loaded.manifest.next_seq;
+        for record in &outcome.records {
+            if record.seq < loaded.manifest.next_seq {
+                continue; // already folded into the snapshot
+            }
+            if record.seq != next_seq {
+                return Err(DurabilityError::Corrupt(format!(
+                    "WAL is missing records: expected seq {next_seq}, found {}",
+                    record.seq
+                )));
+            }
+            svc.replay(&record.op);
+            next_seq += 1;
+        }
+        let replayed = next_seq - loaded.manifest.next_seq;
+        let writer = WalWriter::resume(&wal_path, &outcome, next_seq)?;
+        svc.durability = Some(Durability {
+            dir: dir.to_path_buf(),
+            writer,
+            backend,
+            snapshot_every: opts.snapshot_every,
+            records_since_snapshot: replayed,
+        });
+        svc.maybe_autosnapshot();
+        Ok(svc)
+    }
+
+    /// Re-executes one recovered operation through the normal engine paths
+    /// (durability is not yet attached, so nothing is re-logged). Replaying
+    /// the identical call sequence on identical state is what makes
+    /// recovery bit-identical.
+    fn replay(&mut self, op: &WalOp) {
+        match op {
+            WalOp::Batch(updates) => {
+                self.apply(updates);
+            }
+            WalOp::Register(pattern) => {
+                self.register(pattern.clone());
+            }
+            WalOp::Deregister(id) => {
+                self.deregister(QueryId(*id));
+            }
+            WalOp::Suspend(id) => {
+                self.suspend(QueryId(*id));
+            }
+            WalOp::Resume(id) => {
+                self.resume(QueryId(*id));
+            }
+            WalOp::Read(id) => {
+                self.result(QueryId(*id));
+            }
+        }
+    }
+
+    /// Whether this service persists its operations.
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// The durable root directory, if this service is durable.
+    pub fn durable_dir(&self) -> Option<&Path> {
+        self.durability.as_ref().map(|d| d.dir.as_path())
+    }
+
+    /// Folds the current state into a fresh snapshot and truncates the log
+    /// (the swap is atomic — a crash mid-snapshot recovers to either the
+    /// old or the new one, never a mix). Errors on non-durable services.
+    pub fn snapshot_now(&mut self) -> Result<(), DurabilityError> {
+        let Some(d) = self.durability.as_mut() else {
+            return Err(DurabilityError::State(
+                "snapshot_now on a non-durable service (open it with create_durable/open_durable)"
+                    .to_string(),
+            ));
+        };
+        let next_seq = d.writer.next_seq();
+        snapshot::write_snapshot(
+            &d.dir,
+            &self.graph,
+            d.backend,
+            self.epoch,
+            next_seq,
+            &self.catalog,
+        )?;
+        // Only after the swap is durable may the log forget the history the
+        // snapshot now covers.
+        d.writer = WalWriter::create(&d.dir.join(WAL_FILE), next_seq)?;
+        d.records_since_snapshot = 0;
+        Ok(())
+    }
+
+    /// Appends one operation to the WAL (fsynced) before it takes effect.
+    ///
+    /// An append failure means durability can no longer be guaranteed; the
+    /// service follows crash-stop semantics and panics rather than continue
+    /// with an in-memory state the log does not cover.
+    fn log_op(&mut self, op: WalOp) {
+        if let Some(d) = self.durability.as_mut() {
+            if let Err(e) = d.writer.append(op) {
+                panic!("durable MatchService: WAL append failed, cannot continue safely: {e}");
+            }
+            d.records_since_snapshot += 1;
+        }
+    }
+
+    /// Runs the automatic snapshot policy; called after every logged
+    /// operation has fully taken effect. Crash-stop on failure, like
+    /// [`MatchService::log_op`].
+    fn maybe_autosnapshot(&mut self) {
+        let due = self.durability.as_ref().is_some_and(|d| {
+            d.snapshot_every
+                .is_some_and(|n| d.records_since_snapshot >= n)
+        });
+        if due {
+            if let Err(e) = self.snapshot_now() {
+                panic!(
+                    "durable MatchService: automatic snapshot failed, cannot continue safely: {e}"
+                );
+            }
         }
     }
 
@@ -186,30 +465,42 @@ impl MatchService {
     /// Registers a standing pattern; its initial match is computed against
     /// the current graph immediately. Returns the query's stable id.
     pub fn register(&mut self, pattern: PatternGraph) -> QueryId {
+        if self.durability.is_some() {
+            self.log_op(WalOp::Register(pattern.clone()));
+        }
         let state =
             MatchState::initialise_with(&pattern, &self.graph, self.oracle.as_ref(), &self.exec);
         let emitted = state.relation();
-        self.catalog.register(pattern, state, emitted)
+        let id = self.catalog.register(pattern, state, emitted);
+        self.maybe_autosnapshot();
+        id
     }
 
     /// Removes a query; its subscriptions close. Returns whether the id was
     /// registered.
     pub fn deregister(&mut self, id: QueryId) -> bool {
-        self.catalog.deregister(id)
+        if self.catalog.get(id).is_none() {
+            return false; // no-op, nothing to log
+        }
+        self.log_op(WalOp::Deregister(id.0));
+        let removed = self.catalog.deregister(id);
+        self.maybe_autosnapshot();
+        removed
     }
 
     /// Suspends a query: it stops participating in per-batch repair and its
     /// match state is freed. Subscriptions stay open but silent. Returns
     /// `false` for unknown ids.
     pub fn suspend(&mut self, id: QueryId) -> bool {
-        match self.catalog.get_mut(id) {
-            Some(e) => {
-                e.active = false;
-                e.state = None;
-                true
-            }
-            None => false,
+        if self.catalog.get(id).is_none() {
+            return false;
         }
+        self.log_op(WalOp::Suspend(id.0));
+        let e = self.catalog.get_mut(id).expect("checked above");
+        e.active = false;
+        e.state = None;
+        self.maybe_autosnapshot();
+        true
     }
 
     /// Resumes a suspended query **lazily**: the query is marked active, but
@@ -217,13 +508,14 @@ impl MatchService {
     /// call — at which point subscribers receive one catch-up delta covering
     /// everything missed while suspended. Returns `false` for unknown ids.
     pub fn resume(&mut self, id: QueryId) -> bool {
-        match self.catalog.get_mut(id) {
-            Some(e) => {
-                e.active = true;
-                true
-            }
-            None => false,
+        if self.catalog.get(id).is_none() {
+            return false;
         }
+        self.log_op(WalOp::Resume(id.0));
+        let e = self.catalog.get_mut(id).expect("checked above");
+        e.active = true;
+        self.maybe_autosnapshot();
+        true
     }
 
     /// Subscribes to a query's delta stream. The first delta is a snapshot
@@ -247,6 +539,16 @@ impl MatchService {
     /// their folded stream always equals the returned relation. Returns
     /// `None` for unknown or suspended queries.
     pub fn result(&mut self, id: QueryId) -> Option<MatchRelation> {
+        // A read that materialises a lazily-resumed state mutates the
+        // query's visible emitted relation (the catch-up delta), so it must
+        // be logged for replay to reproduce the stream. Pure reads are not.
+        let activates = self
+            .catalog
+            .get(id)
+            .is_some_and(|e| e.active && !e.has_state());
+        if activates {
+            self.log_op(WalOp::Read(id.0));
+        }
         // Split borrows: the entry is mutated, graph/oracle/exec are read.
         let (graph, oracle, exec) = (&self.graph, self.oracle.as_ref(), &self.exec);
         let epoch = self.epoch;
@@ -268,6 +570,7 @@ impl MatchService {
                     .subscribers
                     .retain(|tx| tx.send(delta.clone()).is_ok());
             }
+            self.maybe_autosnapshot();
             return Some(visible);
         }
         entry.state.as_ref().map(MatchState::relation)
@@ -288,6 +591,10 @@ impl MatchService {
     /// returned outcome carries every non-empty per-query delta; the same
     /// deltas are pushed to subscribers.
     pub fn apply(&mut self, updates: &[EdgeUpdate]) -> BatchOutcome {
+        if self.durability.is_some() {
+            // Even empty batches bump the epoch, so every apply is logged.
+            self.log_op(WalOp::Batch(updates.to_vec()));
+        }
         self.epoch += 1;
         self.stats.batches += 1;
 
@@ -351,6 +658,7 @@ impl MatchService {
                 .retain(|tx| tx.send(batch_work.delta.clone()).is_ok());
             outcome.deltas.push(batch_work.delta);
         }
+        self.maybe_autosnapshot();
         outcome
     }
 

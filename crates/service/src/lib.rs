@@ -71,7 +71,11 @@
 pub mod catalog;
 pub mod delta;
 pub mod engine;
+pub mod snapshot;
+pub mod wal;
 
 pub use catalog::{QueryCatalog, QueryEntry, RepairKind};
 pub use delta::{fold_deltas, MatchDelta, QueryId, Subscription};
-pub use engine::{BatchOutcome, MatchService, ServiceStats};
+pub use engine::{BatchOutcome, DurableOptions, MatchService, ServiceStats};
+pub use snapshot::{GraphFormat, Manifest, QuerySnapshot, SegmentMeta};
+pub use wal::{DurabilityError, FailpointWriter, WalOp, WalReadOutcome, WalRecord, WalWriter};

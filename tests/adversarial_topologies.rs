@@ -13,10 +13,12 @@
 //! | cut chain mid-way (`k > 0`) | upstream sources exist → rebuild | 1 |
 //! | delete every hub→leaf star edge | every deletion strands a leaf | 1 per edge |
 //! | cut a clique bridge | the whole upstream clique reaches the cut | 1 |
+//! | sever a bowtie `source → waist` edge | nothing reaches the source → in-place row repair | 0 |
+//! | sever every bowtie `waist → sink` edge | every source reaches the cut | 1 per edge |
 
 use gpm::datagen::{
-    cliques_with_bridges, cut_bridge_updates, cut_chain_updates, deep_chain, delete_hub_updates,
-    grid, star,
+    bowtie, cliques_with_bridges, cut_bridge_updates, cut_chain_updates, deep_chain,
+    delete_hub_updates, grid, sever_waist_updates, star,
 };
 use gpm::{DataGraph, DistanceOracle, EdgeUpdate, Executor, NodeId, OracleBackend, Parallelism};
 
@@ -143,6 +145,30 @@ fn clique_bridge_cut_rebuilds_once() {
         "bridge q=1",
     );
     assert_eq!(rebuilds, 1, "one bridge cut, one rebuild");
+}
+
+/// Severing a bowtie's out-wing strands one sink per deletion from the
+/// waist *and* every source at once — like the star teardown, each edge
+/// forces a rebuild, but here each cut invalidates `wing + 1` rows.
+#[test]
+fn bowtie_waist_severing_rebuilds_per_sink() {
+    const WING: usize = 12;
+    let rebuilds = drive(bowtie(WING), &sever_waist_updates(WING), "bowtie out-wing");
+    assert_eq!(
+        rebuilds, WING,
+        "every waist→sink deletion strands a sink and forces a rebuild"
+    );
+}
+
+/// Severing a single `source → waist` edge is the in-place case: the bowtie
+/// sources have in-degree 0, so only the severed source's own row changes —
+/// no rebuild, mirroring the chain's head cut.
+#[test]
+fn bowtie_source_cut_repairs_in_place() {
+    const WING: usize = 12;
+    let script = [EdgeUpdate::Delete(NodeId::new(3), NodeId::new(0))];
+    let rebuilds = drive(bowtie(WING), &script, "bowtie in-wing");
+    assert_eq!(rebuilds, 0, "a source cut repairs in place");
 }
 
 /// Insertions never rebuild, even on the high-diameter grid where a single

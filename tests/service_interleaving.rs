@@ -224,6 +224,77 @@ fn deregister_and_reregister_same_pattern() {
     }
 }
 
+/// Suspension survives a crash: killing a durable service with a query
+/// suspended and reopening leaves it suspended (no answers, no per-batch
+/// cost), and resuming then emits **exactly one** catch-up delta covering
+/// everything missed — before and after the crash alike.
+#[test]
+fn suspended_query_stays_suspended_across_kill_and_reopen() {
+    let dir = std::env::temp_dir().join(format!("gpm-interleave-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let g = labelled_graph(30, 75, 3, 21);
+    let mut svc =
+        gpm::MatchService::create_durable(&dir, g, gpm::DurableOptions::default()).unwrap();
+
+    let (p, _) = generate_pattern(svc.graph(), &PatternGenConfig::new(3, 3, 3).with_seed(22));
+    let suspended = svc.register(p.clone());
+    let (p2, _) = generate_pattern(svc.graph(), &PatternGenConfig::new(3, 3, 3).with_seed(23));
+    let live = svc.register(p2.clone());
+
+    assert!(svc.suspend(suspended));
+    // Updates land while the query sleeps — some before the crash...
+    let updates = random_updates(svc.graph(), &UpdateStreamConfig::mixed(8).with_seed(24));
+    svc.apply(&updates);
+    drop(svc); // kill
+
+    let mut svc = gpm::MatchService::open_durable(&dir, gpm::DurableOptions::default()).unwrap();
+    assert!(
+        svc.result(suspended).is_none(),
+        "a suspended query must stay suspended across recovery"
+    );
+    assert!(
+        svc.result(live).is_some(),
+        "the active query answers right after recovery"
+    );
+
+    // ... and some after it, still unseen by the sleeper.
+    let sub = svc.subscribe(suspended).unwrap();
+    assert_eq!(sub.drain().len(), 1, "subscription snapshot only");
+    let more = random_updates(svc.graph(), &UpdateStreamConfig::mixed(8).with_seed(25));
+    svc.apply(&more);
+    assert_eq!(
+        sub.drain().len(),
+        0,
+        "no deltas reach a suspended query's subscribers"
+    );
+
+    // Resume: one catch-up delta reconciles the entire sleep, crash included.
+    assert!(svc.resume(suspended));
+    let woken = svc.result(suspended).unwrap();
+    let stream = sub.drain();
+    assert!(
+        stream.len() <= 1,
+        "resume emits at most one catch-up delta, got {}",
+        stream.len()
+    );
+    let rebuilt = DistanceMatrix::build(svc.graph());
+    let recomputed = bounded_simulation_with_oracle(&p, svc.graph(), &rebuilt);
+    assert_eq!(woken, recomputed.relation, "woken query is consistent");
+    // The subscription's full history (snapshot at subscribe time + the
+    // catch-up) folds to the live result.
+    let snapshot_then_catchup: Vec<_> = svc
+        .subscribe(suspended)
+        .unwrap()
+        .drain()
+        .into_iter()
+        .collect();
+    assert_eq!(
+        fold_deltas(p.node_count(), snapshot_then_catchup.iter()),
+        woken
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 /// Edge-case schedules: updates on an empty catalog, duplicate inserts,
 /// deletes of missing edges, and unknown-node updates are all absorbed.
 #[test]
