@@ -1,8 +1,9 @@
 //! Minimal command-line argument handling shared by the experiment binaries.
 //!
 //! Only a handful of flags are needed (`--scale`, `--seed`, `--patterns`,
-//! `--threads`, `--oracle`, `--dataset-dir`, `--dataset`), so a tiny
-//! hand-rolled parser keeps the harness free of CLI dependencies.
+//! `--threads`, `--oracle`, `--dataset-dir`, `--dataset`, `--obs`,
+//! `--obs-out`), so a tiny hand-rolled parser keeps the harness free of CLI
+//! dependencies.
 
 use gpm::{Dataset, DatasetSource, OracleBackend, Parallelism};
 use std::path::PathBuf;
@@ -37,6 +38,13 @@ pub struct HarnessArgs {
     /// pattern-size's accumulated baseline time crosses the budget, larger
     /// sizes skip that baseline instead of hanging the harness.
     pub cutoff_ms: u64,
+    /// Enables the `gpm-obs` observability layer for this run (`--obs`,
+    /// equivalent to `GPM_OBS=1`): binaries that support it print a
+    /// `Registry::report()` dump after their tables.
+    pub obs: bool,
+    /// JSONL sink path for `gpm-obs` events and snapshots (`--obs-out`,
+    /// equivalent to `GPM_OBS_OUT`). Implies `--obs`.
+    pub obs_out: Option<PathBuf>,
 }
 
 impl Default for HarnessArgs {
@@ -50,6 +58,8 @@ impl Default for HarnessArgs {
             dataset_dir: None,
             dataset: None,
             cutoff_ms: 2_000,
+            obs: false,
+            obs_out: None,
         }
     }
 }
@@ -101,11 +111,18 @@ impl HarnessArgs {
                         .parse()
                         .map_err(|e| format!("invalid --cutoff-ms: {e}"))?;
                 }
+                "--obs" => {
+                    out.obs = true;
+                }
+                "--obs-out" => {
+                    out.obs_out = Some(PathBuf::from(take_value("--obs-out")?));
+                    out.obs = true;
+                }
                 "--help" | "-h" => {
                     return Err(
                         "usage: <experiment> [--scale <f>] [--seed <n>] [--patterns <n>] \
                          [--threads <n>] [--oracle matrix|two-hop] [--dataset-dir <path>] \
-                         [--dataset <name>] [--cutoff-ms <n>]"
+                         [--dataset <name>] [--cutoff-ms <n>] [--obs] [--obs-out <path>]"
                             .to_string(),
                     )
                 }
@@ -134,6 +151,12 @@ impl HarnessArgs {
         match Self::parse_from(std::env::args().skip(1)) {
             Ok(args) => {
                 std::env::set_var("GPM_ORACLE", args.oracle.name());
+                if args.obs {
+                    gpm::obs::set_enabled(true);
+                }
+                if let Some(path) = &args.obs_out {
+                    gpm::obs::set_out_path(path);
+                }
                 args
             }
             Err(msg) => {
@@ -276,6 +299,8 @@ mod tests {
             "mini-youtube",
             "--cutoff-ms",
             "750",
+            "--obs-out",
+            "/tmp/obs.jsonl",
         ])
         .unwrap();
         assert_eq!(a.scale, 0.5);
@@ -287,6 +312,12 @@ mod tests {
         assert_eq!(a.dataset_dir.as_deref(), Some(Path::new("fixtures")));
         assert_eq!(a.dataset.as_deref(), Some("mini-youtube"));
         assert_eq!(a.cutoff_ms, 750);
+        assert!(a.obs, "--obs-out implies --obs");
+        assert_eq!(a.obs_out.as_deref(), Some(Path::new("/tmp/obs.jsonl")));
+
+        let b = parse(&["--obs"]).unwrap();
+        assert!(b.obs);
+        assert!(b.obs_out.is_none());
     }
 
     #[test]
@@ -309,6 +340,7 @@ mod tests {
         assert!(parse(&["--dataset"]).is_err());
         assert!(parse(&["--cutoff-ms", "0"]).is_err());
         assert!(parse(&["--cutoff-ms", "abc"]).is_err());
+        assert!(parse(&["--obs-out"]).is_err());
         assert!(parse(&["--bogus"]).is_err());
         assert!(parse(&["--help"]).is_err());
     }

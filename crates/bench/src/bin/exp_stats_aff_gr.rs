@@ -44,7 +44,12 @@ fn main() {
          on the full-size YouTube graph (sizes scale with --scale).\n"
     );
 
-    // (2) AFF statistics for insertion batches.
+    // (2) AFF statistics for insertion batches — read off the `incremental`
+    // scope of the `gpm::obs` registry rather than recomputed ad hoc:
+    // `repair_match_state` counts the relevant AFF1 pairs (source or sink
+    // matched before or after the repair) as it runs, so the table and any
+    // JSONL consumer see the same numbers.
+    gpm::obs::set_enabled(true);
     let pattern = dag_pattern(&subject.graph, 4, 4, 3, args.seed);
     let base = IncrementalMatcher::new(pattern, subject.graph.clone());
     let mut table = Table::new(
@@ -57,25 +62,25 @@ fn main() {
             &UpdateStreamConfig::insertions(delta).with_seed(args.seed + delta as u64),
         );
         let mut matcher = base.clone();
-        let relation_before = matcher.relation();
+        gpm::obs::registry().reset();
         let outcome = matcher.apply_batch(&updates).expect("DAG pattern");
-        // "Relevant" AFF1 pairs: those whose source or sink is a matched node
-        // of some pattern node — the pairs that can possibly affect S.
-        let matched: std::collections::HashSet<_> = relation_before
-            .iter_pairs()
-            .map(|(_, v)| v)
-            .chain(matcher.relation().iter_pairs().map(|(_, v)| v))
-            .collect();
-        let relevant = outcome
-            .aff1
-            .iter()
-            .filter(|p| matched.contains(&p.source) || matched.contains(&p.sink))
-            .count();
+        let counters = gpm::obs::registry().snapshot().det_counters();
+        let get = |name: &str| {
+            counters
+                .get(&format!("incremental.{name}"))
+                .copied()
+                .unwrap_or(0)
+        };
+        assert_eq!(
+            get("aff1_pairs"),
+            outcome.stats.aff1 as u64,
+            "obs counter must agree with the repair outcome"
+        );
         table.row(vec![
             updates.len().to_string(),
-            outcome.stats.aff1.to_string(),
-            relevant.to_string(),
-            outcome.stats.aff2.to_string(),
+            get("aff1_pairs").to_string(),
+            get("aff1_relevant").to_string(),
+            get("aff2_pairs").to_string(),
         ]);
     }
     table.print();

@@ -8,11 +8,20 @@
 //! their own copies and compute it N times. The table reports both wall
 //! clock and the affected-area computation counts, and cross-checks that
 //! every service query's result equals its independent matcher's.
+//!
+//! A second table reports **per-batch apply latency** over a longer scripted
+//! stream — exact nearest-rank p50/p99/p999 plus the oracle's rebuild count
+//! and resident size. With `--obs` the `gpm-obs` registry report follows the
+//! tables, and `--obs-out <path>` streams JSONL (self-checked: every line
+//! must parse).
 
 use gpm::{
     random_updates, EdgeUpdate, IncrementalMatcher, MatchService, PatternGraph, UpdateStreamConfig,
 };
-use gpm_bench::{dag_pattern, fmt_ms, load_source_or_exit, time, HarnessArgs, Table};
+use gpm_bench::{
+    dag_pattern, fmt_ms, load_source_or_exit, percentile_exact, time, HarnessArgs, Table,
+};
+use std::time::Duration;
 
 /// Pre-generates `batches` update batches of `batch_size` updates each
 /// against an evolving copy of the graph, so every run replays the exact
@@ -130,4 +139,64 @@ fn main() {
          matchers compute it K times. The `AFF amortisation` column is exactly K when\n\
          every batch touches the matrix; wall-clock follows on update-dominated loads."
     );
+
+    // Per-batch apply latency over a longer stream (BENCHMARKS.md batch 7).
+    // Exact nearest-rank percentiles from the full sample; the oracle
+    // columns surface `DistanceOracle::rebuilds`/`memory_bytes` so backend
+    // degradation (2-hop rebuild storms, matrix growth) shows up next to
+    // the latencies it causes.
+    let lat_batches = 40usize;
+    let lat_script = scripted_batches(&graph, lat_batches, batch_size, args.seed + 177);
+    let mut latency = Table::new(
+        format!("svc_continuous: per-batch apply latency ({lat_batches} batches)"),
+        &[
+            "K queries",
+            "p50 (ms)",
+            "p99 (ms)",
+            "p999 (ms)",
+            "max (ms)",
+            "oracle rebuilds",
+            "oracle mem (MiB)",
+        ],
+    );
+    for k in [2usize, 4, 8, 16] {
+        let patterns: Vec<PatternGraph> = (0..k)
+            .map(|i| dag_pattern(&graph, 4, 4, 3, args.seed + i as u64 * 131))
+            .collect();
+        let mut svc = MatchService::with_parallelism(graph.clone(), parallelism.clone());
+        for p in &patterns {
+            svc.register(p.clone());
+        }
+        let mut samples: Vec<Duration> = Vec::with_capacity(lat_batches);
+        for batch in &lat_script {
+            let (_, d) = time(|| svc.apply(batch));
+            samples.push(d);
+        }
+        latency.row(vec![
+            k.to_string(),
+            fmt_ms(percentile_exact(&samples, 0.50)),
+            fmt_ms(percentile_exact(&samples, 0.99)),
+            fmt_ms(percentile_exact(&samples, 0.999)),
+            fmt_ms(samples.iter().max().copied().unwrap_or_default()),
+            svc.oracle().rebuilds().to_string(),
+            format!(
+                "{:.1}",
+                svc.oracle().memory_bytes() as f64 / (1024.0 * 1024.0)
+            ),
+        ]);
+    }
+    println!();
+    latency.print();
+
+    if args.obs {
+        // The registry accumulated across every run above; the service
+        // scope's `batch_ns` histogram is the log-bucketed counterpart of
+        // the exact table (≤ 1/16 relative error).
+        println!("\n{}", gpm::obs::registry().report());
+        if let Some(path) = &args.obs_out {
+            gpm::obs::registry().export_snapshot();
+            let lines = gpm_bench::obs_jsonl_check_or_exit(path);
+            println!("obs JSONL OK ({lines} lines, {})", path.display());
+        }
+    }
 }

@@ -13,14 +13,22 @@
 //!    cross-checked bit-for-bit against the uninterrupted service.
 //! 3. **Footprint**: bytes on disk per mode (WAL + snapshot segments).
 //!
+//! A per-batch latency table (exact nearest-rank p50/p99/p999 plus the
+//! oracle's rebuild count and resident size) shows where the fsync cost
+//! lands; `--obs` appends the `gpm-obs` registry report (the `wal` scope
+//! breaks appends into encode and fsync time) and `--obs-out` streams JSONL.
+//!
 //! Durable runs force `--threads`-independent results by construction, so
 //! the cross-check is exact equality, not approximation.
 
 use gpm::{random_updates, service::wal::WAL_FILE};
 use gpm::{DurableOptions, EdgeUpdate, MatchService, PatternGraph, UpdateStreamConfig};
-use gpm_bench::{dag_pattern, fmt_ms, load_source_or_exit, time, HarnessArgs, Table};
+use gpm_bench::{
+    dag_pattern, fmt_ms, load_source_or_exit, percentile_exact, time, HarnessArgs, Table,
+};
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 /// Pre-generates `batches` update batches against an evolving copy of the
 /// graph, so every mode replays the exact same stream.
@@ -105,11 +113,12 @@ fn main() {
         .iter()
         .map(|p| reference.register(p.clone()))
         .collect();
-    let (_, ref_apply) = time(|| {
-        for batch in &script {
-            reference.apply(batch);
-        }
-    });
+    let mut ref_samples: Vec<Duration> = Vec::with_capacity(script.len());
+    for batch in &script {
+        let (_, d) = time(|| reference.apply(batch));
+        ref_samples.push(d);
+    }
+    let ref_apply: Duration = ref_samples.iter().sum();
     let ref_results: Vec<_> = ref_ids
         .iter()
         .map(|&id| reference.result(id).expect("active query"))
@@ -142,6 +151,44 @@ fn main() {
         &["mode", "recover (ms)", "replayed records", "results agree"],
     );
 
+    // Per-batch apply latency per mode: the WAL's fsync cost lands in the
+    // tail, and the oracle columns (`DistanceOracle::rebuilds`/
+    // `memory_bytes`) tie backend degradation to the mode that caused it.
+    let mut latency = Table::new(
+        "svc_recovery: per-batch apply latency",
+        &[
+            "mode",
+            "p50 (ms)",
+            "p99 (ms)",
+            "p999 (ms)",
+            "max (ms)",
+            "oracle rebuilds",
+            "oracle mem (MiB)",
+        ],
+    );
+    let latency_row = |latency: &mut Table,
+                       mode: &str,
+                       samples: &[Duration],
+                       rebuilds: usize,
+                       mem_bytes: usize| {
+        latency.row(vec![
+            mode.into(),
+            fmt_ms(percentile_exact(samples, 0.50)),
+            fmt_ms(percentile_exact(samples, 0.99)),
+            fmt_ms(percentile_exact(samples, 0.999)),
+            fmt_ms(samples.iter().max().copied().unwrap_or_default()),
+            rebuilds.to_string(),
+            format!("{:.1}", mem_bytes as f64 / (1024.0 * 1024.0)),
+        ]);
+    };
+    latency_row(
+        &mut latency,
+        "ephemeral",
+        &ref_samples,
+        reference.oracle().rebuilds(),
+        reference.oracle().memory_bytes(),
+    );
+
     let mut roots = Vec::new();
     for (mode, snapshot_every) in modes {
         let root = temp_root(&mode.replace(' ', "-"));
@@ -155,11 +202,19 @@ fn main() {
         )
         .expect("fresh durable root");
         let ids: Vec<_> = patterns.iter().map(|p| svc.register(p.clone())).collect();
-        let (_, apply) = time(|| {
-            for batch in &script {
-                svc.apply(batch);
-            }
-        });
+        let mut samples: Vec<Duration> = Vec::with_capacity(script.len());
+        for batch in &script {
+            let (_, d) = time(|| svc.apply(batch));
+            samples.push(d);
+        }
+        let apply: Duration = samples.iter().sum();
+        latency_row(
+            &mut latency,
+            mode,
+            &samples,
+            svc.oracle().rebuilds(),
+            svc.oracle().memory_bytes(),
+        );
         drop(svc); // crash
 
         let wal_bytes = fs::metadata(root.join(WAL_FILE)).map_or(0, |m| m.len());
@@ -196,6 +251,8 @@ fn main() {
 
     overhead.print();
     println!();
+    latency.print();
+    println!();
     recovery.print();
     println!(
         "\nEvery durable batch is one fsynced WAL append before it applies; the snap mode\n\
@@ -207,5 +264,16 @@ fn main() {
     );
     for root in roots {
         let _ = fs::remove_dir_all(&root);
+    }
+
+    if args.obs {
+        // The `wal` scope (append/fsync timing, bytes) only populates in
+        // the durable modes; `service.batch_ns` spans all three.
+        println!("\n{}", gpm::obs::registry().report());
+        if let Some(path) = &args.obs_out {
+            gpm::obs::registry().export_snapshot();
+            let lines = gpm_bench::obs_jsonl_check_or_exit(path);
+            println!("obs JSONL OK ({lines} lines, {})", path.display());
+        }
     }
 }

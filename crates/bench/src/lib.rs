@@ -29,7 +29,11 @@
 //!   mini-dataset; pointing it at a directory of downloaded SNAP crawls
 //!   reproduces Fig. 6(e)/Table 1 against the real data;
 //! * `--cutoff-ms <n>` — wall-clock budget per curve for baselines with
-//!   exponential worst cases (VF2 in the extended Fig. 6(b) sweep).
+//!   exponential worst cases (VF2 in the extended Fig. 6(b) sweep);
+//! * `--obs` / `--obs-out <path>` — enable the `gpm-obs` observability layer
+//!   (equivalent to `GPM_OBS=1` / `GPM_OBS_OUT=<path>`): `svc_continuous`
+//!   and `svc_recovery` append a `Registry::report()` dump, and `--obs-out`
+//!   additionally streams JSONL events plus a final registry snapshot.
 //!
 //! ## Paper map
 //!
@@ -81,6 +85,56 @@ pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
     let start = Instant::now();
     let value = f();
     (value, start.elapsed())
+}
+
+/// Reads a `gpm::obs` JSONL sink back and requires every non-empty line to
+/// parse as a JSON object, exiting the process with a message otherwise (the
+/// experiment binaries' shared error path). Returns the object count — the
+/// structured output is only useful if downstream tooling can consume it
+/// blind, so the binaries fail loudly instead of shipping a corrupt sink.
+pub fn obs_jsonl_check_or_exit(path: &std::path::Path) -> usize {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("obs JSONL self-check: cannot read {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    };
+    let mut lines = 0usize;
+    for (i, line) in text.lines().filter(|l| !l.is_empty()).enumerate() {
+        match serde_json::from_str::<serde::Value>(line) {
+            Ok(serde::Value::Map(_)) => lines += 1,
+            Ok(other) => {
+                eprintln!(
+                    "obs JSONL self-check: line {} is not an object: {other:?}",
+                    i + 1
+                );
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("obs JSONL self-check: line {} does not parse: {e}", i + 1);
+                std::process::exit(1);
+            }
+        }
+    }
+    lines
+}
+
+/// Exact nearest-rank percentile over a sample of durations: the smallest
+/// value whose rank is at least `ceil(q * n)`. The latency tables report
+/// p50/p99/p999 from full per-batch samples with this helper, which also
+/// serves as ground truth against the log-bucketed `gpm::obs` histograms
+/// (≤ 1/16 relative error).
+///
+/// Returns `Duration::ZERO` on an empty sample.
+pub fn percentile_exact(samples: &[Duration], q: f64) -> Duration {
+    if samples.is_empty() {
+        return Duration::ZERO;
+    }
+    let mut sorted: Vec<Duration> = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
 }
 
 /// Formats a duration in milliseconds with a sensible precision for tables.
@@ -159,6 +213,18 @@ mod tests {
         assert_eq!(fmt_ms(Duration::from_millis(250)), "250");
         assert_eq!(fmt_ms(Duration::from_micros(1500)), "1.5");
         assert_eq!(fmt_ms(Duration::from_micros(90)), "0.090");
+    }
+
+    #[test]
+    fn percentile_exact_nearest_rank() {
+        let ms: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        assert_eq!(percentile_exact(&ms, 0.50), Duration::from_millis(50));
+        assert_eq!(percentile_exact(&ms, 0.99), Duration::from_millis(99));
+        assert_eq!(percentile_exact(&ms, 0.999), Duration::from_millis(100));
+        assert_eq!(percentile_exact(&ms, 1.0), Duration::from_millis(100));
+        assert_eq!(percentile_exact(&[], 0.5), Duration::ZERO);
+        let one = [Duration::from_millis(7)];
+        assert_eq!(percentile_exact(&one, 0.01), Duration::from_millis(7));
     }
 
     #[test]

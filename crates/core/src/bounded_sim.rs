@@ -26,6 +26,38 @@ use crate::match_relation::MatchRelation;
 use gpm_distance::{DistanceOracle, OracleBackend};
 use gpm_exec::Executor;
 use gpm_graph::{DataGraph, NodeId, PatternGraph, PatternNodeId};
+use std::sync::{Arc, OnceLock};
+
+/// Observability handles for the refinement (scope `"match"`). Every
+/// counter is deterministic: the fixed merge order makes waves, scans and
+/// removals bit-identical at any thread count.
+struct MatchMetrics {
+    runs: Arc<gpm_obs::Counter>,
+    waves: Arc<gpm_obs::Counter>,
+    membership_scans: Arc<gpm_obs::Counter>,
+    initial_candidates: Arc<gpm_obs::Counter>,
+    removed_candidates: Arc<gpm_obs::Counter>,
+    counter_decrements: Arc<gpm_obs::Counter>,
+    failed_early: Arc<gpm_obs::Counter>,
+    run_ns: Arc<gpm_obs::Histogram>,
+}
+
+fn metrics() -> &'static MatchMetrics {
+    static METRICS: OnceLock<MatchMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let scope = gpm_obs::registry().scope("match");
+        MatchMetrics {
+            runs: scope.counter("runs"),
+            waves: scope.counter("waves"),
+            membership_scans: scope.counter("membership_scans"),
+            initial_candidates: scope.counter("initial_candidates"),
+            removed_candidates: scope.counter("removed_candidates"),
+            counter_decrements: scope.counter("counter_decrements"),
+            failed_early: scope.counter("failed_early"),
+            run_ns: scope.histogram("run_ns"),
+        }
+    })
+}
 
 /// Counters and outcome metadata of a `Match` run.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -117,6 +149,32 @@ pub fn bounded_simulation_with_oracle<O: DistanceOracle + Sync + ?Sized>(
 ///    bit-identical at every thread count, which is what the determinism
 ///    suite asserts.
 pub fn bounded_simulation_with_oracle_on<O: DistanceOracle + Sync + ?Sized>(
+    pattern: &PatternGraph,
+    graph: &DataGraph,
+    oracle: &O,
+    exec: &Executor,
+) -> MatchOutcome {
+    let m = metrics();
+    let _span = m.run_ns.span();
+    let out = match_inner(pattern, graph, oracle, exec);
+    if gpm_obs::enabled() {
+        m.runs.inc();
+        m.initial_candidates
+            .add(out.stats.initial_candidates as u64);
+        m.removed_candidates
+            .add(out.stats.removed_candidates as u64);
+        m.counter_decrements
+            .add(out.stats.counter_decrements as u64);
+        if out.stats.failed_early {
+            m.failed_early.inc();
+        }
+    }
+    out
+}
+
+/// The refinement itself, uninstrumented (see the public wrapper above for
+/// the obs accounting; the wave loop counts waves and scans inline).
+fn match_inner<O: DistanceOracle + Sync + ?Sized>(
     pattern: &PatternGraph,
     graph: &DataGraph,
     oracle: &O,
@@ -260,6 +318,12 @@ pub fn bounded_simulation_with_oracle_on<O: DistanceOracle + Sync + ?Sized>(
         let active: Vec<usize> = (0..ne)
             .filter(|&ei| !removed_per_u[edges[ei].to.index()].is_empty())
             .collect();
+        if gpm_obs::enabled() {
+            let m = metrics();
+            m.waves.inc();
+            // Each active edge scans the full `mat(from)` membership row.
+            m.membership_scans.add((active.len() * nv) as u64);
+        }
         let deltas: Vec<Vec<(u32, u32)>> = exec.map_tasks(active.len() * n_chunks, nv, |ti| {
             let e = &edges[active[ti / n_chunks]];
             let ci = ti % n_chunks;

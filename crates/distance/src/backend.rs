@@ -72,10 +72,24 @@ impl OracleBackend {
 
     /// Builds the selected backend for `g` on the shared executor.
     pub fn build(self, g: &DataGraph, exec: &Executor) -> Box<dyn DistanceOracle + Send + Sync> {
-        match self {
+        let start = gpm_obs::enabled().then(std::time::Instant::now);
+        let oracle: Box<dyn DistanceOracle + Send + Sync> = match self {
             OracleBackend::Matrix => Box::new(DistanceMatrix::build_with(g, exec)),
             OracleBackend::TwoHop => Box::new(IncrementalTwoHop::build_with(g, exec)),
+        };
+        if let Some(start) = start {
+            let ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            let m = crate::metrics::build_metrics();
+            m.builds.inc();
+            m.build_ns.record(ns);
+            gpm_obs::emit_event(
+                "oracle",
+                "build",
+                &[("dur_ns", ns), ("nodes", g.node_count() as u64)],
+                &[("backend", self.name())],
+            );
         }
+        oracle
     }
 }
 

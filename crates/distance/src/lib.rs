@@ -76,6 +76,7 @@ pub mod backend;
 pub mod bfs_oracle;
 pub mod incremental;
 pub mod matrix;
+mod metrics;
 pub mod oracle;
 pub mod two_hop;
 pub mod two_hop_inc;

@@ -1,0 +1,97 @@
+//! Observability handles for the distance back-ends (scope `"oracle"`).
+//!
+//! Metric names are prefixed with the backend (`matrix.*` / `twohop.*`) so
+//! both implementations report side by side in one scope. All counters here
+//! are deterministic: repair outcomes, AFF1 sizes and label-query counts
+//! depend only on the graph and the update stream, never on scheduling.
+
+use gpm_obs::{Counter, Histogram};
+use std::sync::{Arc, OnceLock};
+
+/// Per-backend maintenance metrics shared by matrix and 2-hop.
+pub(crate) struct OracleMetrics {
+    pub inserts: Arc<Counter>,
+    pub deletes: Arc<Counter>,
+    pub aff1_pairs: Arc<Counter>,
+    pub aff1_size: Arc<Histogram>,
+    pub apply_ns: Arc<Histogram>,
+}
+
+impl OracleMetrics {
+    fn new(prefix: &str) -> Self {
+        let scope = gpm_obs::registry().scope("oracle");
+        OracleMetrics {
+            inserts: scope.counter(&format!("{prefix}.inserts")),
+            deletes: scope.counter(&format!("{prefix}.deletes")),
+            aff1_pairs: scope.counter(&format!("{prefix}.aff1_pairs")),
+            aff1_size: scope.histogram(&format!("{prefix}.aff1_size")),
+            apply_ns: scope.histogram(&format!("{prefix}.apply_ns")),
+        }
+    }
+
+    /// Account one repaired unit update and its AFF1 size.
+    pub(crate) fn note_unit(&self, insert: bool, aff1_len: usize) {
+        if !gpm_obs::enabled() {
+            return;
+        }
+        if insert {
+            self.inserts.inc();
+        } else {
+            self.deletes.inc();
+        }
+        self.aff1_pairs.add(aff1_len as u64);
+        self.aff1_size.record(aff1_len as u64);
+    }
+}
+
+pub(crate) fn matrix() -> &'static OracleMetrics {
+    static M: OnceLock<OracleMetrics> = OnceLock::new();
+    M.get_or_init(|| OracleMetrics::new("matrix"))
+}
+
+pub(crate) fn twohop() -> &'static OracleMetrics {
+    static M: OnceLock<OracleMetrics> = OnceLock::new();
+    M.get_or_init(|| OracleMetrics::new("twohop"))
+}
+
+/// 2-hop-specific metrics: label queries and delete-repair outcomes.
+pub(crate) struct TwoHopMetrics {
+    pub label_queries: Arc<Counter>,
+    pub delete_noop: Arc<Counter>,
+    pub delete_row_repair: Arc<Counter>,
+    pub delete_rebuild: Arc<Counter>,
+    pub rebuilds: Arc<Counter>,
+    pub rebuild_ns: Arc<Histogram>,
+}
+
+pub(crate) fn twohop_extra() -> &'static TwoHopMetrics {
+    static M: OnceLock<TwoHopMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let scope = gpm_obs::registry().scope("oracle");
+        TwoHopMetrics {
+            label_queries: scope.counter("twohop.label_queries"),
+            delete_noop: scope.counter("twohop.delete_noop"),
+            delete_row_repair: scope.counter("twohop.delete_row_repair"),
+            delete_rebuild: scope.counter("twohop.delete_rebuild"),
+            rebuilds: scope.counter("twohop.rebuilds"),
+            rebuild_ns: scope.histogram("twohop.rebuild_ns"),
+        }
+    })
+}
+
+/// Build-time metrics, recorded by [`crate::OracleBackend::build`].
+pub(crate) struct BuildMetrics {
+    pub builds: Arc<Counter>,
+    pub build_ns: Arc<Histogram>,
+}
+
+pub(crate) fn build_metrics() -> &'static BuildMetrics {
+    static M: OnceLock<BuildMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let scope = gpm_obs::registry().scope("oracle");
+        BuildMetrics {
+            builds: scope.counter("builds"),
+            build_ns: scope.histogram("build_ns"),
+        }
+    })
+}

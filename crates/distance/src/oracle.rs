@@ -234,7 +234,12 @@ impl DistanceOracle for DistanceMatrix {
         to: NodeId,
         exec: &Executor,
     ) -> AffectedPairs {
-        crate::incremental::update_matrix_with(g, self, EdgeUpdate::Insert(from, to), exec)
+        let m = crate::metrics::matrix();
+        let _span = m.apply_ns.span();
+        let aff =
+            crate::incremental::update_matrix_with(g, self, EdgeUpdate::Insert(from, to), exec);
+        m.note_unit(true, aff.len());
+        aff
     }
 
     fn apply_delete(
@@ -244,7 +249,12 @@ impl DistanceOracle for DistanceMatrix {
         to: NodeId,
         exec: &Executor,
     ) -> AffectedPairs {
-        crate::incremental::update_matrix_with(g, self, EdgeUpdate::Delete(from, to), exec)
+        let m = crate::metrics::matrix();
+        let _span = m.apply_ns.span();
+        let aff =
+            crate::incremental::update_matrix_with(g, self, EdgeUpdate::Delete(from, to), exec);
+        m.note_unit(false, aff.len());
+        aff
     }
 
     fn apply_batch(
@@ -253,7 +263,19 @@ impl DistanceOracle for DistanceMatrix {
         updates: &[EdgeUpdate],
         exec: &Executor,
     ) -> AffectedPairs {
-        crate::incremental::update_matrix_batch_with(g, self, updates, exec)
+        // The native batch path bypasses the unit methods, so account the
+        // units here (insert/delete splits and the combined AFF1 size).
+        let m = crate::metrics::matrix();
+        let _span = m.apply_ns.span();
+        let aff = crate::incremental::update_matrix_batch_with(g, self, updates, exec);
+        if gpm_obs::enabled() {
+            let inserts = updates.iter().filter(|u| u.is_insert()).count();
+            m.inserts.add(inserts as u64);
+            m.deletes.add((updates.len() - inserts) as u64);
+            m.aff1_pairs.add(aff.len() as u64);
+            m.aff1_size.record(aff.len() as u64);
+        }
+        aff
     }
 
     fn memory_bytes(&self) -> usize {

@@ -257,6 +257,7 @@ impl IncrementalTwoHop {
         }
         if changed_sinks.is_empty() {
             // Provable no-op: the labels stay exact, no rebuild needed.
+            crate::metrics::twohop_extra().delete_noop.inc();
             return AffectedPairs { pairs: affected };
         }
 
@@ -271,6 +272,7 @@ impl IncrementalTwoHop {
             // Every affected pair has source s (nothing else reaches s, and
             // hub-s label entries can only serve queries out of s), so the
             // labels are repairable in place from the fresh BFS row.
+            crate::metrics::twohop_extra().delete_row_repair.inc();
             self.repair_source_row(g, s, &new_row);
             return AffectedPairs { pairs: affected };
         }
@@ -282,9 +284,23 @@ impl IncrementalTwoHop {
             .collect();
 
         // Decremental label repair is unsound in general; rebuild and record.
+        let rebuild_start = gpm_obs::enabled().then(std::time::Instant::now);
         self.index = TwoHopIndex::build_with(g, exec);
         self.hubs_by_rank = recover_ranks(&self.index);
         self.rebuilds += 1;
+        if let Some(start) = rebuild_start {
+            let ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            let m = crate::metrics::twohop_extra();
+            m.delete_rebuild.inc();
+            m.rebuilds.inc();
+            m.rebuild_ns.record(ns);
+            gpm_obs::emit_event(
+                "oracle",
+                "rebuild",
+                &[("dur_ns", ns)],
+                &[("backend", "two-hop"), ("cause", "delete")],
+            );
+        }
 
         let mut k = 0;
         for &x in &sources {
@@ -363,11 +379,13 @@ impl IncrementalTwoHop {
 impl DistanceOracle for IncrementalTwoHop {
     #[inline]
     fn nonempty_distance(&self, _g: &DataGraph, from: NodeId, to: NodeId) -> Option<u32> {
+        crate::metrics::twohop_extra().label_queries.inc();
         self.index.nonempty_distance(from, to)
     }
 
     #[inline]
     fn within(&self, _g: &DataGraph, from: NodeId, to: NodeId, bound: EdgeBound) -> bool {
+        crate::metrics::twohop_extra().label_queries.inc();
         match bound {
             EdgeBound::Hops(k) => {
                 let d = self.index.nonempty_raw(from, to);
@@ -392,7 +410,11 @@ impl DistanceOracle for IncrementalTwoHop {
         to: NodeId,
         exec: &Executor,
     ) -> AffectedPairs {
-        self.insert_repair(g, from, to, exec)
+        let m = crate::metrics::twohop();
+        let _span = m.apply_ns.span();
+        let aff = self.insert_repair(g, from, to, exec);
+        m.note_unit(true, aff.len());
+        aff
     }
 
     fn apply_delete(
@@ -402,7 +424,11 @@ impl DistanceOracle for IncrementalTwoHop {
         to: NodeId,
         exec: &Executor,
     ) -> AffectedPairs {
-        self.delete_repair(g, from, to, exec)
+        let m = crate::metrics::twohop();
+        let _span = m.apply_ns.span();
+        let aff = self.delete_repair(g, from, to, exec);
+        m.note_unit(false, aff.len());
+        aff
     }
 
     fn rebuilds(&self) -> usize {

@@ -6,7 +6,33 @@ use crate::parallelism::Parallelism;
 use std::any::Any;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Shared handles into the `exec` observability scope. All executor counters
+/// are scheduling-dependent (chunk counts, steal opportunities and busy time
+/// vary with `GPM_THREADS`), so they register as nondeterministic.
+struct ExecMetrics {
+    scope: Arc<gpm_obs::Scope>,
+    regions: Arc<gpm_obs::Counter>,
+    tasks_spawned: Arc<gpm_obs::Counter>,
+    steals: Arc<gpm_obs::Counter>,
+    busy_ns: Arc<gpm_obs::Counter>,
+}
+
+fn metrics() -> &'static ExecMetrics {
+    static METRICS: OnceLock<ExecMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let scope = gpm_obs::registry().scope("exec");
+        ExecMetrics {
+            regions: scope.nondet_counter("regions"),
+            tasks_spawned: scope.nondet_counter("tasks_spawned"),
+            steals: scope.nondet_counter("steals"),
+            busy_ns: scope.nondet_counter("busy_ns"),
+            scope,
+        }
+    })
+}
 
 /// A task queued in a parallel region: borrowed-data fork-join closures.
 type Task<'env> = Box<dyn FnOnce() + Send + 'env>;
@@ -259,6 +285,11 @@ impl Executor {
     /// round-robin dealing and work stealing.
     fn run_tasks<'env>(&self, tasks: Vec<Task<'env>>) {
         let n = tasks.len();
+        if gpm_obs::enabled() && n > 0 {
+            let m = metrics();
+            m.regions.inc();
+            m.tasks_spawned.add(n as u64);
+        }
         let workers = self.cfg.threads().min(n);
         if workers <= 1 {
             for task in tasks {
@@ -325,21 +356,54 @@ fn worker_loop<'env>(
     panicked: &AtomicBool,
     payload: &Mutex<Option<Box<dyn Any + Send>>>,
 ) {
+    // Steals and busy time accumulate in locals and flush once at region
+    // exit, so the hot loop stays free of shared-counter traffic.
+    let obs = gpm_obs::enabled().then(metrics);
+    let mut steals = 0u64;
+    let mut busy_ns = 0u64;
     loop {
         if panicked.load(Ordering::Relaxed) {
-            return;
+            break;
         }
+        let mut stolen = false;
         let task = deques[me].pop_bottom().or_else(|| {
-            (1..deques.len()).find_map(|k| deques[(me + k) % deques.len()].steal_top())
+            (1..deques.len())
+                .find_map(|k| deques[(me + k) % deques.len()].steal_top())
+                .map(|t| {
+                    stolen = true;
+                    t
+                })
         });
-        let Some(task) = task else { return };
-        if let Err(p) = catch_unwind(AssertUnwindSafe(task)) {
+        let Some(task) = task else { break };
+        if stolen {
+            steals += 1;
+        }
+        let result = if obs.is_some() {
+            let start = Instant::now();
+            let r = catch_unwind(AssertUnwindSafe(task));
+            busy_ns += start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            r
+        } else {
+            catch_unwind(AssertUnwindSafe(task))
+        };
+        if let Err(p) = result {
             let mut slot = payload.lock().unwrap();
             if slot.is_none() {
                 *slot = Some(p);
             }
             panicked.store(true, Ordering::Relaxed);
-            return;
+            break;
+        }
+    }
+    if let Some(m) = obs {
+        if steals > 0 {
+            m.steals.add(steals);
+        }
+        if busy_ns > 0 {
+            m.busy_ns.add(busy_ns);
+            m.scope
+                .nondet_counter(&format!("worker{me}.busy_ns"))
+                .add(busy_ns);
         }
     }
 }

@@ -14,6 +14,7 @@
 //! | [`incremental`] | `Match−`, `Match+`, `IncMatch`, shared-AFF repair, and the `IncrementalMatcher` facade |
 //! | [`service`] | the continuous multi-pattern matching service (`MatchService`: register/apply/subscribe) |
 //! | [`iso`] | subgraph-isomorphism baselines (Ullmann `SubIso`, VF2) |
+//! | [`obs`] | zero-dependency metrics/tracing (counters, histograms, spans; `GPM_OBS`) |
 //! | [`datagen`] | synthetic graphs, simulated Matter/PBlog/YouTube datasets, adversarial topologies, dataset sources/export, pattern generator, update streams |
 //!
 //! The most common entry points are also re-exported at the crate root.
@@ -120,6 +121,15 @@ pub mod service {
 /// Subgraph-isomorphism baselines (re-export of `gpm-iso`).
 pub mod iso {
     pub use gpm_iso::*;
+}
+
+/// Zero-dependency metrics and structured tracing (re-export of `gpm-obs`).
+///
+/// Disabled by default; enable with the `GPM_OBS=1` environment variable or
+/// [`obs::set_enabled`]. See the `gpm-obs` crate docs for the report and
+/// JSONL formats.
+pub mod obs {
+    pub use gpm_obs::*;
 }
 
 /// Workload generators and simulated datasets (re-export of `gpm-datagen`).

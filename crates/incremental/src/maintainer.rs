@@ -220,6 +220,7 @@ impl IncrementalMatcher {
 
     fn recompute_state(&mut self) {
         self.recompute_fallbacks += 1;
+        crate::repair::metrics().recompute_fallbacks.inc();
         self.state = MatchState::initialise_with(
             &self.pattern,
             &self.graph,

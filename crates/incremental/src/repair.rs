@@ -26,6 +26,41 @@ use crate::state::MatchState;
 use gpm_distance::{AffectedPairs, DistanceOracle};
 use gpm_graph::{DataGraph, GraphError, NodeId, PatternGraph};
 use rustc_hash::FxHashSet;
+use std::sync::{Arc, OnceLock};
+
+/// Observability handles for per-query repair (scope `"incremental"`).
+/// All counters are deterministic; `aff1_relevant` uses the same
+/// "touches a matched node (before or after)" rule as `exp_stats_aff_gr`,
+/// so the experiment and the live service report from one code path.
+pub(crate) struct RepairMetrics {
+    pub repairs: Arc<gpm_obs::Counter>,
+    pub verifications: Arc<gpm_obs::Counter>,
+    pub aff1_pairs: Arc<gpm_obs::Counter>,
+    pub aff1_relevant: Arc<gpm_obs::Counter>,
+    pub aff2_pairs: Arc<gpm_obs::Counter>,
+    pub dag_rejections: Arc<gpm_obs::Counter>,
+    pub recompute_fallbacks: Arc<gpm_obs::Counter>,
+    pub aff2_size: Arc<gpm_obs::Histogram>,
+    pub repair_ns: Arc<gpm_obs::Histogram>,
+}
+
+pub(crate) fn metrics() -> &'static RepairMetrics {
+    static METRICS: OnceLock<RepairMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let scope = gpm_obs::registry().scope("incremental");
+        RepairMetrics {
+            repairs: scope.counter("repairs"),
+            verifications: scope.counter("verifications"),
+            aff1_pairs: scope.counter("aff1_pairs"),
+            aff1_relevant: scope.counter("aff1_relevant"),
+            aff2_pairs: scope.counter("aff2_pairs"),
+            dag_rejections: scope.counter("dag_rejections"),
+            recompute_fallbacks: scope.counter("recompute_fallbacks"),
+            aff2_size: scope.histogram("aff2_size"),
+            repair_ns: scope.histogram("repair_ns"),
+        }
+    })
+}
 
 /// The result of one per-query repair pass: the match-pair delta and the
 /// verification work it took.
@@ -71,9 +106,19 @@ pub fn repair_match_state<O: DistanceOracle + ?Sized>(
     state: &mut MatchState,
     aff1: &AffectedPairs,
 ) -> Result<RepairOutcome, GraphError> {
+    let m = metrics();
+    let span = m.repair_ns.span();
+    // Matched nodes before the repair — half of the `aff1_relevant` rule;
+    // only materialised while observability is on.
+    let matched_before: Option<FxHashSet<NodeId>> =
+        gpm_obs::enabled().then(|| state.relation().iter_pairs().map(|(_, v)| v).collect());
+
     let (increased, decreased) = split_aff1_sources(aff1);
     if !decreased.is_empty() {
-        pattern.require_dag()?;
+        if let Err(err) = pattern.require_dag() {
+            m.dag_rejections.inc();
+            return Err(err);
+        }
     }
 
     let mut aff2 = Aff2::default();
@@ -98,6 +143,20 @@ pub fn repair_match_state<O: DistanceOracle + ?Sized>(
         &mut verifications,
     );
     aff2.merge(additions);
+    if let Some(mut matched) = matched_before {
+        matched.extend(state.relation().iter_pairs().map(|(_, v)| v));
+        let relevant = aff1
+            .iter()
+            .filter(|p| matched.contains(&p.source) || matched.contains(&p.sink))
+            .count();
+        m.repairs.inc();
+        m.verifications.add(verifications as u64);
+        m.aff1_pairs.add(aff1.len() as u64);
+        m.aff1_relevant.add(relevant as u64);
+        m.aff2_pairs.add(aff2.len() as u64);
+        m.aff2_size.record(aff2.len() as u64);
+    }
+    span.finish();
     Ok(RepairOutcome {
         aff2,
         verifications,

@@ -1,0 +1,310 @@
+//! Log-bucketed histogram with bounded relative error.
+//!
+//! Layout (an "HDR-lite"): values `0..16` get one exact bucket each; every
+//! power-of-two octave `[2^e, 2^(e+1))` for `e >= 4` is split into 16 linear
+//! sub-buckets of width `2^(e-4)`. A value is therefore attributed to a
+//! bucket whose inclusive upper bound overestimates it by at most `1/16`
+//! (6.25%), which makes percentile extraction a certified upper bound
+//! rather than a guess. The whole `u64` range fits in 976 buckets.
+
+use crate::enabled;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// 16 exact buckets + 60 octaves x 16 sub-buckets.
+pub const NUM_BUCKETS: usize = 976;
+
+/// Bucket index for a value. Exact below 16, log-linear above.
+#[inline]
+pub(crate) fn bucket_index(v: u64) -> usize {
+    if v < 16 {
+        v as usize
+    } else {
+        let e = 63 - v.leading_zeros() as u64; // e >= 4
+        (((e - 3) << 4) | ((v >> (e - 4)) & 15)) as usize
+    }
+}
+
+/// Inclusive upper bound of bucket `i` — the value percentiles report.
+pub(crate) fn bucket_bound(i: usize) -> u64 {
+    if i < 16 {
+        i as u64
+    } else {
+        let e = (i as u64 >> 4) + 3;
+        let sub = i as u64 & 15;
+        let low = (1u64 << e) + (sub << (e - 4));
+        low + ((1u64 << (e - 4)) - 1)
+    }
+}
+
+/// A thread-safe log-bucketed histogram (see module docs for the layout).
+///
+/// `record` is gated on [`crate::enabled`]; while observability is off it is
+/// one relaxed load plus a branch.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: Box<[AtomicU64]>,
+}
+
+impl Histogram {
+    /// A fresh, empty histogram. Most callers obtain shared instances via
+    /// [`crate::Scope::histogram`]; standalone ones are handy in tests and
+    /// ad-hoc measurements.
+    pub fn new() -> Self {
+        let buckets: Vec<AtomicU64> = (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: buckets.into_boxed_slice(),
+        }
+    }
+
+    /// Record one value (no-op while disabled).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if !enabled() {
+            return;
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a duration in nanoseconds.
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Start a drop-guard timer that records elapsed nanoseconds into this
+    /// histogram. While disabled the guard holds no clock value and records
+    /// nothing.
+    #[inline]
+    pub fn span(&self) -> Span<'_> {
+        Span {
+            hist: self,
+            start: if enabled() {
+                Some(Instant::now())
+            } else {
+                None
+            },
+        }
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Consistent-enough point-in-time copy (individual fields are read
+    /// with relaxed loads; concurrent recording may skew count vs buckets
+    /// by in-flight updates, which is fine for reporting).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        let min = self.min.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 { 0 } else { min },
+            max: self.max.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, b)| {
+                    let n = b.load(Ordering::Relaxed);
+                    (n > 0).then(|| (bucket_bound(i), n))
+                })
+                .collect(),
+        }
+    }
+
+    pub(crate) fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+        for b in self.buckets.iter() {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// A drop-guard timer created by [`Histogram::span`].
+#[must_use = "a span records on drop; binding it to `_` drops it immediately"]
+#[derive(Debug)]
+pub struct Span<'a> {
+    hist: &'a Histogram,
+    start: Option<Instant>,
+}
+
+impl Span<'_> {
+    /// Stop the timer now and return elapsed nanoseconds (0 if disabled).
+    pub fn finish(mut self) -> u64 {
+        let ns = match self.start.take() {
+            Some(t) => t.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+            None => return 0,
+        };
+        self.hist.record(ns);
+        ns
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some(t) = self.start.take() {
+            self.hist
+                .record(t.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        }
+    }
+}
+
+/// Point-in-time copy of a [`Histogram`]: sparse `(bucket upper bound,
+/// count)` pairs in ascending bound order plus count/sum/min/max.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    /// Non-empty buckets as `(inclusive upper bound, count)`, ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (useful as a merge accumulator).
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Nearest-rank percentile, `q` in `[0, 1]`.
+    ///
+    /// Returns a certified upper bound on the true q-th percentile: the
+    /// inclusive upper bound of the bucket holding the rank-`ceil(q*count)`
+    /// value, clamped to the observed max. Overestimates by at most 1/16.
+    /// Returns 0 on an empty snapshot.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(bound, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return bound.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// `p50`/`p99`/`p999` shorthand.
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+    pub fn p999(&self) -> u64 {
+        self.percentile(0.999)
+    }
+
+    /// Arithmetic mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Fold another snapshot into this one. Bucket-wise addition, so the
+    /// operation is associative and commutative and the identity is
+    /// [`HistogramSnapshot::empty`].
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let mut merged = Vec::with_capacity(self.buckets.len() + other.buckets.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.buckets.len() || j < other.buckets.len() {
+            let take_left = match (self.buckets.get(i), other.buckets.get(j)) {
+                (Some(&(a, _)), Some(&(b, _))) if a == b => {
+                    merged.push((a, self.buckets[i].1 + other.buckets[j].1));
+                    i += 1;
+                    j += 1;
+                    continue;
+                }
+                (Some(&(a, _)), Some(&(b, _))) => a < b,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            if take_left {
+                merged.push(self.buckets[i]);
+                i += 1;
+            } else {
+                merged.push(other.buckets[j]);
+                j += 1;
+            }
+        }
+        self.buckets = merged;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_and_bound_agree() {
+        for i in 0..NUM_BUCKETS {
+            assert_eq!(bucket_index(bucket_bound(i)), i, "bucket {i}");
+        }
+        assert_eq!(bucket_bound(NUM_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn small_values_exact() {
+        for v in 0..16u64 {
+            assert_eq!(bucket_bound(bucket_index(v)), v);
+        }
+    }
+
+    #[test]
+    fn relative_error_bounded() {
+        for &v in &[16u64, 17, 100, 1_000, 65_535, 1 << 40, u64::MAX - 1] {
+            let bound = bucket_bound(bucket_index(v));
+            assert!(bound >= v);
+            assert!(bound - v <= v / 16, "v={v} bound={bound}");
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Minimal JSON writer so the crate stays dependency-free.
+//!
+//! Emits compact single-line JSON (objects, arrays, strings, unsigned
+//! integers, booleans) with standard escaping — a strict subset of what any
+//! JSON parser accepts, including the workspace's `serde_json`.
+
+pub(crate) fn push_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Builds one JSON object, tracking comma placement.
+pub(crate) struct Obj<'a> {
+    out: &'a mut String,
+    first: bool,
+}
+
+impl<'a> Obj<'a> {
+    pub(crate) fn begin(out: &'a mut String) -> Self {
+        out.push('{');
+        Obj { out, first: true }
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        push_str(self.out, k);
+        self.out.push(':');
+    }
+
+    pub(crate) fn uint(&mut self, k: &str, v: u64) {
+        self.key(k);
+        self.out.push_str(&v.to_string());
+    }
+
+    pub(crate) fn bool(&mut self, k: &str, v: bool) {
+        self.key(k);
+        self.out.push_str(if v { "true" } else { "false" });
+    }
+
+    pub(crate) fn str(&mut self, k: &str, v: &str) {
+        self.key(k);
+        push_str(self.out, v);
+    }
+
+    /// Open a nested object under `k`; the caller finishes it.
+    pub(crate) fn nested(&mut self, k: &str) -> Obj<'_> {
+        self.key(k);
+        Obj::begin(self.out)
+    }
+
+    /// `k: [[a, b], [a, b], ...]` — the shape bucket lists use.
+    pub(crate) fn uint_pairs(&mut self, k: &str, pairs: &[(u64, u64)]) {
+        self.key(k);
+        self.out.push('[');
+        for (i, (a, b)) in pairs.iter().enumerate() {
+            if i > 0 {
+                self.out.push(',');
+            }
+            self.out.push_str(&format!("[{a},{b}]"));
+        }
+        self.out.push(']');
+    }
+
+    pub(crate) fn end(self) {
+        self.out.push('}');
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests for the log-bucketed histogram: bucket monotonicity,
+//! certified percentile bounds, and merge associativity/commutativity.
+
+use gpm_obs::{Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+
+fn snap_of(values: &[u64]) -> HistogramSnapshot {
+    gpm_obs::set_enabled(true);
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+/// Exact nearest-rank percentile over raw samples — the ground truth the
+/// histogram's bucketed answer must upper-bound.
+fn exact_percentile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Mixed-magnitude value strategy: small exact values, mid-range, and
+/// values deep into the log-bucketed octaves.
+fn values() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec((0u64..48, 0u64..1_000_000), 1..120).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .map(|(shift, raw)| raw.wrapping_shl(shift as u32 / 3))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Recording larger values never lands in an earlier bucket, and every
+    /// value is over-approximated by at most 1/16.
+    #[test]
+    fn bucket_bounds_monotone(vals in values()) {
+        let mut sorted = vals.clone();
+        sorted.sort_unstable();
+        let mut prev_bound = 0u64;
+        for &v in &sorted {
+            let s = snap_of(&[v]);
+            prop_assert_eq!(s.buckets.len(), 1);
+            let bound = s.buckets[0].0;
+            prop_assert!(bound >= v, "bound {} < value {}", bound, v);
+            prop_assert!(bound - v <= v / 16, "error > 1/16 at {}", v);
+            prop_assert!(bound >= prev_bound, "bucket order inverted at {}", v);
+            prev_bound = bound;
+        }
+    }
+
+    /// The bucketed percentile is a certified upper bound on the exact
+    /// nearest-rank percentile, within 1/16 relative error.
+    #[test]
+    fn percentiles_bound_truth(vals in values()) {
+        let snap = snap_of(&vals);
+        let mut sorted = vals;
+        sorted.sort_unstable();
+        prop_assert_eq!(snap.count, sorted.len() as u64);
+        prop_assert_eq!(snap.min, sorted[0]);
+        prop_assert_eq!(snap.max, *sorted.last().unwrap());
+        for &q in &[0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let truth = exact_percentile(&sorted, q);
+            let approx = snap.percentile(q);
+            prop_assert!(approx >= truth, "p{} {} < exact {}", q, approx, truth);
+            prop_assert!(
+                approx - truth <= truth / 16,
+                "p{} {} overshoots exact {}",
+                q, approx, truth
+            );
+            prop_assert!(approx <= snap.max);
+        }
+    }
+
+    /// Merge is associative and commutative with `empty()` as identity, so
+    /// per-shard snapshots can be folded in any order.
+    #[test]
+    fn merge_associative(a in values(), b in values(), c in values()) {
+        let (sa, sb, sc) = (snap_of(&a), snap_of(&b), snap_of(&c));
+
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+
+        let mut right_tail = sb.clone();
+        right_tail.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&right_tail);
+
+        prop_assert_eq!(&left, &right);
+
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(&ab, &ba);
+
+        let mut with_identity = HistogramSnapshot::empty();
+        with_identity.merge(&sa);
+        prop_assert_eq!(&with_identity, &sa);
+        let mut sa_id = sa.clone();
+        sa_id.merge(&HistogramSnapshot::empty());
+        prop_assert_eq!(&sa_id, &sa);
+
+        // The merged snapshot answers percentiles over the union.
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        all.sort_unstable();
+        prop_assert_eq!(left.count, all.len() as u64);
+        let truth = exact_percentile(&all, 0.99);
+        prop_assert!(left.percentile(0.99) >= truth);
+    }
+}

@@ -390,6 +390,8 @@ impl MatchService {
                     .to_string(),
             ));
         };
+        let obs = crate::metrics::service();
+        let fold_span = obs.fold_ns.span();
         let next_seq = d.writer.next_seq();
         snapshot::write_snapshot(
             &d.dir,
@@ -403,6 +405,20 @@ impl MatchService {
         // snapshot now covers.
         d.writer = WalWriter::create(&d.dir.join(WAL_FILE), next_seq)?;
         d.records_since_snapshot = 0;
+        obs.snapshots.inc();
+        let ns = fold_span.finish();
+        if gpm_obs::enabled() {
+            gpm_obs::emit_event(
+                "service",
+                "snapshot",
+                &[
+                    ("dur_ns", ns),
+                    ("epoch", self.epoch),
+                    ("next_seq", next_seq),
+                ],
+                &[],
+            );
+        }
         Ok(())
     }
 
@@ -465,6 +481,9 @@ impl MatchService {
     /// Registers a standing pattern; its initial match is computed against
     /// the current graph immediately. Returns the query's stable id.
     pub fn register(&mut self, pattern: PatternGraph) -> QueryId {
+        let obs = crate::metrics::service();
+        obs.registers.inc();
+        let _span = obs.register_ns.span();
         if self.durability.is_some() {
             self.log_op(WalOp::Register(pattern.clone()));
         }
@@ -591,12 +610,15 @@ impl MatchService {
     /// returned outcome carries every non-empty per-query delta; the same
     /// deltas are pushed to subscribers.
     pub fn apply(&mut self, updates: &[EdgeUpdate]) -> BatchOutcome {
+        let obs = crate::metrics::service();
+        let batch_span = obs.batch_ns.span();
         if self.durability.is_some() {
             // Even empty batches bump the epoch, so every apply is logged.
             self.log_op(WalOp::Batch(updates.to_vec()));
         }
         self.epoch += 1;
         self.stats.batches += 1;
+        obs.batches.inc();
 
         // Step 1: shared maintenance, paid once for the whole catalog.
         let mut applied: Vec<EdgeUpdate> = Vec::with_capacity(updates.len());
@@ -606,11 +628,15 @@ impl MatchService {
             }
         }
         self.stats.updates_applied += applied.len();
+        obs.updates_applied.add(applied.len() as u64);
         let aff1 = if applied.is_empty() {
             AffectedPairs::default()
         } else {
             self.stats.aff_computations += 1;
-            self.oracle.apply_batch(&self.graph, &applied, &self.exec)
+            let aff_span = obs.aff_ns.span();
+            let aff1 = self.oracle.apply_batch(&self.graph, &applied, &self.exec);
+            aff_span.finish();
+            aff1
         };
 
         // Step 2: fan the per-query repair out across the executor. Each
@@ -625,6 +651,7 @@ impl MatchService {
             .iter_mut()
             .filter(|e| e.active && (e.state.is_none() || !aff1.is_empty()))
             .collect();
+        obs.fanout_size.record(work.len() as u64);
         exec.par_chunks_mut(&mut work, 1, |_, chunk| {
             for entry in chunk.iter_mut() {
                 repair_entry(entry, graph, oracle, &aff1, epoch);
@@ -643,15 +670,34 @@ impl MatchService {
                 continue;
             };
             match batch_work.kind {
-                RepairKind::Incremental => self.stats.repairs += 1,
-                RepairKind::Recompute => self.stats.recompute_fallbacks += 1,
-                RepairKind::Activation => self.stats.activations += 1,
+                RepairKind::Incremental => {
+                    self.stats.repairs += 1;
+                    obs.repairs.inc();
+                }
+                RepairKind::Recompute => {
+                    self.stats.recompute_fallbacks += 1;
+                    obs.recompute_fallbacks.inc();
+                }
+                RepairKind::Activation => {
+                    self.stats.activations += 1;
+                    obs.activations.inc();
+                }
             }
             self.stats.verifications += batch_work.verifications;
+            obs.verifications.add(batch_work.verifications as u64);
             if batch_work.delta.is_empty() {
                 continue;
             }
             self.stats.deltas_emitted += 1;
+            let pairs = batch_work.delta.added.len() + batch_work.delta.removed.len();
+            if gpm_obs::enabled() {
+                obs.deltas_emitted.inc();
+                obs.delta_pairs.add(pairs as u64);
+                obs.delta_size.record(pairs as u64);
+                obs.scope
+                    .counter(&format!("q{}.deltas", batch_work.delta.query.0))
+                    .inc();
+            }
             // Push to subscribers, dropping the ones that hung up.
             entry
                 .subscribers
@@ -659,6 +705,7 @@ impl MatchService {
             outcome.deltas.push(batch_work.delta);
         }
         self.maybe_autosnapshot();
+        batch_span.finish();
         outcome
     }
 

@@ -71,6 +71,7 @@
 pub mod catalog;
 pub mod delta;
 pub mod engine;
+pub(crate) mod metrics;
 pub mod snapshot;
 pub mod wal;
 

@@ -366,14 +366,21 @@ impl WalWriter {
     /// Appends one operation, durably (frame written + fdatasync), and
     /// returns the sequence number it was assigned.
     pub fn append(&mut self, op: WalOp) -> Result<u64, DurabilityError> {
+        let m = crate::metrics::wal();
+        let append_span = m.append_ns.span();
         let record = WalRecord {
             seq: self.next_seq,
             op,
         };
         let frame = encode_record(&record)?;
         self.file.write_all(&frame)?;
+        let fsync_span = m.fsync_ns.span();
         self.file.sync_data()?;
+        fsync_span.finish();
         self.next_seq += 1;
+        m.appends.inc();
+        m.bytes.add(frame.len() as u64);
+        append_span.finish();
         Ok(record.seq)
     }
 }

@@ -1,0 +1,218 @@
+//! Observability contract suite for `gpm::obs`:
+//!
+//! 1. **Overhead gate** — the same scripted service session produces
+//!    byte-identical outcomes, delta streams, final results and stats with
+//!    observability off and on. Metrics are a read-only tap: flipping
+//!    `GPM_OBS` must never change what the engine computes.
+//! 2. **Determinism** — the deterministic counters (everything
+//!    `Registry::snapshot().det_counters()` reports: match, oracle,
+//!    incremental and service scopes) are bit-identical at 1, 2 and 8
+//!    worker threads. Timing histograms and the `exec` scope are
+//!    scheduling-dependent by nature and excluded by construction.
+//! 3. **JSONL sink** — every exported line parses as a JSON object and the
+//!    registry snapshot round-trips through the vendored `serde_json`.
+//!
+//! The `gpm-obs` registry and enable-flag are process-global, so the tests
+//! serialise on one mutex and leave observability disabled on exit.
+
+use gpm::exec::Parallelism;
+use gpm::{datagen::powerlaw_graph, datagen::PowerLawConfig};
+use gpm::{
+    generate_pattern, random_updates, BatchOutcome, DataGraph, MatchDelta, MatchService,
+    PatternGenConfig, ServiceStats, UpdateStreamConfig,
+};
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard};
+
+/// Serialises every test in this binary: the registry and the enabled flag
+/// are process-global state.
+fn obs_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn forced(threads: usize) -> Parallelism {
+    Parallelism::new(threads).with_sequential_threshold(0)
+}
+
+fn labelled_graph(nodes: usize, edges: usize, labels: usize, seed: u64) -> DataGraph {
+    let mut g = powerlaw_graph(&PowerLawConfig::new(nodes, edges).with_seed(seed));
+    for v in 0..g.node_count() {
+        let label = format!("a{}", v % labels);
+        g.attributes_mut(gpm::NodeId::new(v as u32))
+            .set("label", label);
+    }
+    g
+}
+
+/// The scripted session every test replays: register K queries, subscribe,
+/// suspend/resume one mid-stream (covering the lazy activation path), apply
+/// a mixed update stream, and return everything observable.
+fn run_session(
+    threads: usize,
+    seed: u64,
+) -> (
+    Vec<BatchOutcome>,
+    Vec<Vec<MatchDelta>>,
+    Vec<gpm::MatchRelation>,
+    ServiceStats,
+) {
+    let queries = 4usize;
+    let batches = 5u64;
+    let g = labelled_graph(45, 130, 4, seed);
+    let mut svc = MatchService::with_parallelism(g, forced(threads));
+    let ids: Vec<_> = (0..queries as u64)
+        .map(|i| {
+            let (p, _) = generate_pattern(
+                svc.graph(),
+                &PatternGenConfig::new(3, 3, 3).with_seed(seed * 13 + i),
+            );
+            svc.register(p)
+        })
+        .collect();
+    let subs: Vec<_> = ids.iter().map(|&id| svc.subscribe(id).unwrap()).collect();
+
+    let parked = ids[1];
+    let mut outcomes = Vec::new();
+    for round in 0..batches {
+        if round == 1 {
+            svc.suspend(parked);
+        }
+        if round == batches - 1 {
+            svc.resume(parked);
+        }
+        let updates = random_updates(
+            svc.graph(),
+            &UpdateStreamConfig::mixed(12).with_seed(seed * 97 + round),
+        );
+        outcomes.push(svc.apply(&updates));
+    }
+
+    let streams: Vec<Vec<MatchDelta>> = subs.iter().map(|s| s.drain()).collect();
+    let finals: Vec<gpm::MatchRelation> = ids.iter().map(|&id| svc.result(id).unwrap()).collect();
+    (outcomes, streams, finals, svc.stats().clone())
+}
+
+/// Flipping observability on must not change a single byte of what the
+/// service computes — same outcomes, same delta streams, same final
+/// relations, same work counters.
+#[test]
+fn results_identical_with_obs_off_and_on() {
+    let _guard = obs_lock();
+    gpm::obs::set_enabled(false);
+    let off = run_session(2, 4242);
+
+    gpm::obs::set_enabled(true);
+    gpm::obs::registry().reset();
+    let on = run_session(2, 4242);
+    gpm::obs::set_enabled(false);
+
+    assert_eq!(off.0, on.0, "batch outcomes changed under observation");
+    assert_eq!(off.1, on.1, "delta streams changed under observation");
+    assert_eq!(off.2, on.2, "final results changed under observation");
+    assert_eq!(off.3, on.3, "service stats changed under observation");
+}
+
+/// The deterministic counters are part of the determinism contract: the
+/// same session at 1, 2 and 8 threads produces bit-identical values for
+/// every counter `det_counters()` reports.
+#[test]
+fn det_counters_identical_across_thread_counts() {
+    let _guard = obs_lock();
+    let run = |threads: usize| -> BTreeMap<String, u64> {
+        gpm::obs::set_enabled(true);
+        gpm::obs::registry().reset();
+        run_session(threads, 777);
+        let counters = gpm::obs::registry().snapshot().det_counters();
+        gpm::obs::set_enabled(false);
+        counters
+    };
+    let baseline = run(1);
+    assert!(
+        baseline.keys().any(|k| k.starts_with("match.")),
+        "session should populate the match scope"
+    );
+    assert!(
+        baseline.keys().any(|k| k.starts_with("service.")),
+        "session should populate the service scope"
+    );
+    for threads in [2usize, 8] {
+        let counters = run(threads);
+        assert_eq!(
+            baseline, counters,
+            "deterministic counters diverged at {threads} threads"
+        );
+    }
+}
+
+/// Every line of the JSONL sink parses as a JSON object, the final registry
+/// snapshot is among them, and each line round-trips through the vendored
+/// `serde_json` unchanged in meaning.
+#[test]
+fn jsonl_export_parses_and_round_trips() {
+    let _guard = obs_lock();
+    let path = std::env::temp_dir().join(format!("gpm-obs-test-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    gpm::obs::set_enabled(true);
+    gpm::obs::registry().reset();
+    assert!(gpm::obs::set_out_path(&path), "sink must open");
+    run_session(2, 99);
+    gpm::obs::emit_event(
+        "test",
+        "marker",
+        &[("answer", 42)],
+        &[("note", "esc \"quotes\" and \\slashes\\")],
+    );
+    assert!(
+        gpm::obs::registry().export_snapshot(),
+        "snapshot export must reach the sink"
+    );
+    gpm::obs::set_enabled(false);
+
+    let text = std::fs::read_to_string(&path).expect("sink file readable");
+    let lines: Vec<&str> = text.lines().filter(|l| !l.is_empty()).collect();
+    assert!(!lines.is_empty(), "sink should contain at least one line");
+
+    let mut types = Vec::new();
+    for line in &lines {
+        let value: serde::Value = serde_json::from_str(line).expect("line parses");
+        let serde::Value::Map(ref entries) = value else {
+            panic!("line is not a JSON object: {line}");
+        };
+        let ty = entries
+            .iter()
+            .find(|(k, _)| k == "type")
+            .map(|(_, v)| v.clone())
+            .expect("line has a type field");
+        types.push(ty);
+
+        // Round-trip: render the parsed tree back to text and re-parse.
+        let rendered = serde_json::to_string(&value).expect("re-serializes");
+        let reparsed: serde::Value = serde_json::from_str(&rendered).expect("round-trips");
+        assert_eq!(value, reparsed, "JSONL line changed across a round-trip");
+    }
+    assert!(
+        types.contains(&serde::Value::Str("event".into())),
+        "the explicit marker event should be present"
+    );
+    assert!(
+        types.contains(&serde::Value::Str("snapshot".into())),
+        "the final registry snapshot should be present"
+    );
+
+    // The snapshot line carries the full scope tree, including the session's
+    // deterministic counters.
+    let snapshot_line = lines
+        .iter()
+        .find(|l| l.contains("\"type\":\"snapshot\""))
+        .expect("snapshot line");
+    let snapshot: serde::Value = serde_json::from_str(snapshot_line).expect("snapshot parses");
+    let scopes = snapshot.field("scopes").expect("snapshot has scopes");
+    assert!(
+        matches!(scopes.field("service"), Ok(serde::Value::Map(_))),
+        "snapshot should include the service scope"
+    );
+
+    let _ = std::fs::remove_file(&path);
+}

@@ -136,6 +136,20 @@ impl Value {
     }
 }
 
+// Identity impls, mirroring real serde_json's `Value`: parsing arbitrary
+// JSON into a `Value` (and re-serializing it) just clones the tree.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 /// Types that can be converted into a [`Value`] tree.
 pub trait Serialize {
     /// Converts `self` into the intermediate tree.
