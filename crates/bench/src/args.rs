@@ -244,6 +244,125 @@ impl HarnessArgs {
     }
 }
 
+/// Arguments of the `svc_loadgen` network load driver: the common
+/// [`HarnessArgs`] plus the load-shape flags. Loadgen-specific flags are
+/// extracted first and everything else is delegated to
+/// [`HarnessArgs::parse_from`], so `--scale`, `--oracle`, `--obs-out` etc.
+/// behave exactly as in every other binary.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LoadgenArgs {
+    /// The shared harness flags.
+    pub harness: HarnessArgs,
+    /// Target sustained rate in updates per second (`--rate`).
+    pub rate: f64,
+    /// The K sweep: registered queries per cell (`--queries 2,8,16`).
+    pub queries: Vec<usize>,
+    /// The M sweep: subscribers per query (`--subscribers 1,4`).
+    pub subscribers: Vec<usize>,
+    /// Batches per cell (`--batches`).
+    pub batches: usize,
+    /// Updates per batch (`--batch-size`).
+    pub batch_size: usize,
+}
+
+impl Default for LoadgenArgs {
+    fn default() -> Self {
+        LoadgenArgs {
+            harness: HarnessArgs::default(),
+            rate: 2_000.0,
+            queries: vec![2, 8, 16],
+            subscribers: vec![1, 4],
+            batches: 40,
+            batch_size: 50,
+        }
+    }
+}
+
+impl LoadgenArgs {
+    /// Parses loadgen flags from an iterator, delegating unrecognised
+    /// arguments to [`HarnessArgs::parse_from`].
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut out = LoadgenArgs::default();
+        let mut rest = Vec::new();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            let mut take_value = |name: &str| {
+                iter.next()
+                    .ok_or_else(|| format!("missing value for {name}"))
+            };
+            match arg.as_str() {
+                "--rate" => {
+                    out.rate = take_value("--rate")?
+                        .parse()
+                        .map_err(|e| format!("invalid --rate: {e}"))?;
+                }
+                "--queries" => {
+                    out.queries = parse_usize_list("--queries", &take_value("--queries")?)?;
+                }
+                "--subscribers" => {
+                    out.subscribers =
+                        parse_usize_list("--subscribers", &take_value("--subscribers")?)?;
+                }
+                "--batches" => {
+                    out.batches = take_value("--batches")?
+                        .parse()
+                        .map_err(|e| format!("invalid --batches: {e}"))?;
+                }
+                "--batch-size" => {
+                    out.batch_size = take_value("--batch-size")?
+                        .parse()
+                        .map_err(|e| format!("invalid --batch-size: {e}"))?;
+                }
+                "--help" | "-h" => {
+                    return Err(
+                        "usage: svc_loadgen [--rate <updates/s>] [--queries <k,k,...>] \
+                         [--subscribers <m,m,...>] [--batches <n>] [--batch-size <n>] \
+                         + the common harness flags (see any experiment's --help)"
+                            .to_string(),
+                    )
+                }
+                _ => rest.push(arg),
+            }
+        }
+        if !(out.rate.is_finite() && out.rate > 0.0) {
+            return Err("--rate must be a positive number".to_string());
+        }
+        if out.batches == 0 || out.batch_size == 0 {
+            return Err("--batches and --batch-size must be at least 1".to_string());
+        }
+        out.harness = HarnessArgs::parse_from(rest)?;
+        Ok(out)
+    }
+
+    /// Parses the process arguments, exiting with a message on error, with
+    /// the same environment propagation as [`HarnessArgs::from_env`].
+    pub fn from_env() -> Self {
+        match Self::parse_from(std::env::args().skip(1)) {
+            Ok(args) => {
+                std::env::set_var("GPM_ORACLE", args.harness.oracle.name());
+                if args.harness.obs {
+                    gpm::obs::set_enabled(true);
+                }
+                if let Some(path) = &args.harness.obs_out {
+                    gpm::obs::set_out_path(path);
+                }
+                args
+            }
+            Err(msg) => exit_with(&msg),
+        }
+    }
+}
+
+fn parse_usize_list(name: &str, text: &str) -> Result<Vec<usize>, String> {
+    let list: Result<Vec<usize>, _> = text.split(',').map(|s| s.trim().parse()).collect();
+    match list {
+        Ok(v) if !v.is_empty() && v.iter().all(|&x| x > 0) => Ok(v),
+        _ => Err(format!(
+            "invalid {name}: expected a comma-separated list of positive integers, got `{text}`"
+        )),
+    }
+}
+
 fn exit_with(msg: &str) -> ! {
     eprintln!("{msg}");
     std::process::exit(2);
@@ -343,6 +462,48 @@ mod tests {
         assert!(parse(&["--obs-out"]).is_err());
         assert!(parse(&["--bogus"]).is_err());
         assert!(parse(&["--help"]).is_err());
+    }
+
+    #[test]
+    fn loadgen_args_split_from_harness_flags() {
+        let parse_lg = |args: &[&str]| LoadgenArgs::parse_from(args.iter().map(|s| s.to_string()));
+        let a = parse_lg(&[
+            "--rate",
+            "500",
+            "--queries",
+            "2,4",
+            "--subscribers",
+            "3",
+            "--batches",
+            "10",
+            "--batch-size",
+            "20",
+            "--scale",
+            "0.5",
+            "--oracle",
+            "two-hop",
+        ])
+        .unwrap();
+        assert_eq!(a.rate, 500.0);
+        assert_eq!(a.queries, vec![2, 4]);
+        assert_eq!(a.subscribers, vec![3]);
+        assert_eq!(a.batches, 10);
+        assert_eq!(a.batch_size, 20);
+        assert_eq!(a.harness.scale, 0.5);
+        assert_eq!(a.harness.oracle, OracleBackend::TwoHop);
+
+        let d = parse_lg(&[]).unwrap();
+        assert_eq!(d, LoadgenArgs::default());
+
+        assert!(parse_lg(&["--rate", "0"]).is_err());
+        assert!(parse_lg(&["--queries", "2,0"]).is_err());
+        assert!(parse_lg(&["--queries", "x"]).is_err());
+        assert!(parse_lg(&["--batches", "0"]).is_err());
+        assert!(
+            parse_lg(&["--bogus"]).is_err(),
+            "unknown flags still rejected"
+        );
+        assert!(parse_lg(&["--help"]).is_err());
     }
 
     #[test]

@@ -76,7 +76,7 @@ pub mod args;
 pub mod incremental_exp;
 pub mod table;
 
-pub use args::{load_source_or_exit, HarnessArgs};
+pub use args::{load_source_or_exit, HarnessArgs, LoadgenArgs};
 pub use incremental_exp::{dag_pattern, run_update_experiment, UpdateMix};
 pub use table::Table;
 

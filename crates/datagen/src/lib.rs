@@ -65,4 +65,6 @@ pub use pattern_gen::{generate_pattern, PatternGenConfig};
 pub use powerlaw::{powerlaw_graph, PowerLawConfig};
 pub use random_graph::{random_graph, RandomGraphConfig};
 pub use source::DatasetSource;
-pub use updates::{random_updates, UpdateStreamConfig};
+pub use updates::{
+    random_updates, timed_update_stream, TimedBatch, TimedStreamConfig, UpdateStreamConfig,
+};

@@ -13,6 +13,7 @@
 //! | [`matching`] | the cubic-time `Match` (bounded simulation), graph simulation, result graphs |
 //! | [`incremental`] | `Match−`, `Match+`, `IncMatch`, shared-AFF repair, and the `IncrementalMatcher` facade |
 //! | [`service`] | the continuous multi-pattern matching service (`MatchService`: register/apply/subscribe) |
+//! | [`net`] | network front-end for the service (CRC-framed wire protocol, server, client; see PROTOCOL.md) |
 //! | [`iso`] | subgraph-isomorphism baselines (Ullmann `SubIso`, VF2) |
 //! | [`obs`] | zero-dependency metrics/tracing (counters, histograms, spans; `GPM_OBS`) |
 //! | [`datagen`] | synthetic graphs, simulated Matter/PBlog/YouTube datasets, adversarial topologies, dataset sources/export, pattern generator, update streams |
@@ -118,6 +119,16 @@ pub mod service {
     pub use gpm_service::*;
 }
 
+/// Network front-end for the matching service (re-export of `gpm-net`).
+///
+/// Exposes a [`service::MatchService`] on a TCP socket: CRC-framed wire
+/// protocol (PROTOCOL.md), thread-per-connection server with backpressured
+/// subscriber streams, and a blocking client. Wire-observed delta streams
+/// are bit-identical to in-process [`service::Subscription`] streams.
+pub mod net {
+    pub use gpm_net::*;
+}
+
 /// Subgraph-isomorphism baselines (re-export of `gpm-iso`).
 pub mod iso {
     pub use gpm_iso::*;
@@ -144,8 +155,9 @@ pub use gpm_core::{
     ResultGraph,
 };
 pub use gpm_datagen::{
-    export_dataset, generate_pattern, random_graph, random_updates, Dataset, DatasetSource,
-    PatternGenConfig, RandomGraphConfig, UpdateStreamConfig,
+    export_dataset, generate_pattern, random_graph, random_updates, timed_update_stream, Dataset,
+    DatasetSource, PatternGenConfig, RandomGraphConfig, TimedBatch, TimedStreamConfig,
+    UpdateStreamConfig,
 };
 pub use gpm_distance::{
     BfsOracle, DistanceMatrix, DistanceOracle, EdgeUpdate, IncrementalTwoHop, OracleBackend,

@@ -1,0 +1,193 @@
+//! Stream codec: the WAL's integrity envelope, applied to sockets.
+//!
+//! A wire message is exactly one [`gpm_service::wal`] frame —
+//! `len:u32le ++ crc:u32le ++ payload` with the CRC covering the length
+//! bytes and the payload — whose payload is the compact JSON of one
+//! [`crate::proto`] message. Reusing [`gpm_service::wal::encode_frame`] /
+//! [`gpm_service::wal::decode_frame_exact`] means the network boundary
+//! inherits the durability layer's guarantee verbatim: any single-byte
+//! corruption anywhere in a frame, including the length field, is detected
+//! (the shared corruption proptests cover both consumers).
+//!
+//! One check is new at the network boundary: the WAL trusts its writer, a
+//! socket does not. [`MAX_FRAME_LEN`] caps the length field **before** any
+//! allocation, so a hostile 4 GiB length prefix costs the server an 8-byte
+//! read, not an out-of-memory.
+
+use crate::error::NetError;
+use gpm_service::wal::{decode_frame_exact, encode_frame, FRAME_HEADER_LEN};
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+
+/// Upper bound on a frame's payload length (16 MiB). Large enough for a
+/// snapshot delta of millions of pairs, small enough that a garbled or
+/// hostile length field can never trigger a pathological allocation.
+pub const MAX_FRAME_LEN: u32 = 16 * 1024 * 1024;
+
+/// What one blocking read of a message stream produced.
+#[derive(Debug)]
+pub enum ReadOutcome<T> {
+    /// One complete, checksum-valid message (and its size on the wire).
+    Msg(T, usize),
+    /// The peer closed the connection cleanly between frames.
+    Eof,
+}
+
+/// Encodes one message as a single frame and returns the bytes.
+pub fn encode_message<T: Serialize>(msg: &T) -> Result<Vec<u8>, NetError> {
+    let payload = serde_json::to_string(msg)?;
+    if payload.len() > MAX_FRAME_LEN as usize {
+        return Err(NetError::Codec(format!(
+            "message of {} bytes exceeds MAX_FRAME_LEN ({MAX_FRAME_LEN})",
+            payload.len()
+        )));
+    }
+    Ok(encode_frame(payload.as_bytes())?)
+}
+
+/// Strict inverse of [`encode_message`]: the slice must hold exactly one
+/// valid frame whose payload decodes as `T`.
+pub fn decode_message<T: Deserialize>(frame: &[u8]) -> Result<T, NetError> {
+    if frame.len() >= FRAME_HEADER_LEN {
+        let len = u32::from_le_bytes(frame[0..4].try_into().expect("4 bytes"));
+        if len > MAX_FRAME_LEN {
+            return Err(NetError::Frame(format!(
+                "length field {len} exceeds MAX_FRAME_LEN ({MAX_FRAME_LEN})"
+            )));
+        }
+    }
+    let payload = decode_frame_exact(frame)?;
+    let text = std::str::from_utf8(payload)
+        .map_err(|e| NetError::Codec(format!("checksum-valid payload is not UTF-8: {e}")))?;
+    Ok(serde_json::from_str(text)?)
+}
+
+/// Writes one message as one frame and flushes.
+pub fn write_message<W: Write, T: Serialize>(w: &mut W, msg: &T) -> Result<usize, NetError> {
+    let frame = encode_message(msg)?;
+    w.write_all(&frame)?;
+    w.flush()?;
+    Ok(frame.len())
+}
+
+/// Reads bytes until `buf` is full or the reader hits EOF; returns how many
+/// bytes arrived (retrying on `Interrupted`, like `read_exact`).
+fn read_full<R: Read>(r: &mut R, buf: &mut [u8]) -> std::io::Result<usize> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(filled)
+}
+
+/// Reads exactly one framed message from a blocking stream.
+///
+/// * a clean close **between** frames is [`ReadOutcome::Eof`];
+/// * a close **inside** a frame (torn header or payload) is a
+///   [`NetError::Frame`] — the reader can never mistake a truncated frame
+///   for a complete one;
+/// * a length field above [`MAX_FRAME_LEN`] is rejected before any payload
+///   allocation;
+/// * CRC and decode failures surface as [`NetError::Frame`] /
+///   [`NetError::Codec`] exactly as [`decode_message`] classifies them.
+pub fn read_message<R: Read, T: Deserialize>(r: &mut R) -> Result<ReadOutcome<T>, NetError> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    let got = read_full(r, &mut header)?;
+    if got == 0 {
+        return Ok(ReadOutcome::Eof);
+    }
+    if got < header.len() {
+        return Err(NetError::Frame(format!(
+            "connection closed inside a frame header ({got} of {FRAME_HEADER_LEN} bytes)"
+        )));
+    }
+    let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+    if len > MAX_FRAME_LEN {
+        return Err(NetError::Frame(format!(
+            "length field {len} exceeds MAX_FRAME_LEN ({MAX_FRAME_LEN})"
+        )));
+    }
+    let mut frame = Vec::with_capacity(FRAME_HEADER_LEN + len as usize);
+    frame.extend_from_slice(&header);
+    frame.resize(FRAME_HEADER_LEN + len as usize, 0);
+    let got = read_full(r, &mut frame[FRAME_HEADER_LEN..])?;
+    if got < len as usize {
+        return Err(NetError::Frame(format!(
+            "connection closed inside a frame payload ({got} of {len} bytes)"
+        )));
+    }
+    let msg = decode_message(&frame)?;
+    Ok(ReadOutcome::Msg(msg, frame.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::{Request, PROTOCOL_VERSION};
+    use std::io::Cursor;
+
+    fn hello() -> Request {
+        Request::Hello {
+            version: PROTOCOL_VERSION,
+        }
+    }
+
+    #[test]
+    fn stream_roundtrip() {
+        let mut buf = Vec::new();
+        let n = write_message(&mut buf, &hello()).unwrap();
+        assert_eq!(n, buf.len());
+        let mut cur = Cursor::new(&buf);
+        match read_message::<_, Request>(&mut cur).unwrap() {
+            ReadOutcome::Msg(msg, size) => {
+                assert_eq!(msg, hello());
+                assert_eq!(size, buf.len());
+            }
+            ReadOutcome::Eof => panic!("expected a message"),
+        }
+        // The stream is now cleanly exhausted.
+        assert!(matches!(
+            read_message::<_, Request>(&mut cur).unwrap(),
+            ReadOutcome::Eof
+        ));
+    }
+
+    #[test]
+    fn truncation_at_every_byte_is_a_frame_error_not_eof() {
+        let mut buf = Vec::new();
+        write_message(&mut buf, &hello()).unwrap();
+        for cut in 1..buf.len() {
+            let mut cur = Cursor::new(&buf[..cut]);
+            let err = read_message::<_, Request>(&mut cur).unwrap_err();
+            assert!(
+                matches!(err, NetError::Frame(_)),
+                "cut at {cut}: expected Frame error, got {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_length_field_is_rejected_without_allocation() {
+        let mut buf = (MAX_FRAME_LEN + 1).to_le_bytes().to_vec();
+        buf.extend_from_slice(&[0u8; 4]); // bogus CRC
+        let mut cur = Cursor::new(&buf);
+        let err = read_message::<_, Request>(&mut cur).unwrap_err();
+        assert!(matches!(err, NetError::Frame(m) if m.contains("MAX_FRAME_LEN")));
+        // The strict decoder agrees.
+        assert!(decode_message::<Request>(&buf).is_err());
+    }
+
+    #[test]
+    fn oversized_message_refuses_to_encode() {
+        let big = "x".repeat(MAX_FRAME_LEN as usize + 1);
+        assert!(matches!(
+            encode_message(&big).unwrap_err(),
+            NetError::Codec(_)
+        ));
+    }
+}

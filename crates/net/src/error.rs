@@ -1,0 +1,78 @@
+//! Error type shared by the codec, server and client.
+
+use crate::proto::ErrorCode;
+use gpm_service::DurabilityError;
+use std::fmt;
+use std::io;
+
+/// Everything that can go wrong on the wire.
+#[derive(Debug)]
+pub enum NetError {
+    /// An underlying socket operation failed (includes the peer hanging up
+    /// mid-frame: an unexpected EOF surfaces as [`io::ErrorKind::UnexpectedEof`]).
+    Io(io::Error),
+    /// A frame failed its integrity envelope: bad CRC, a length field
+    /// exceeding [`crate::codec::MAX_FRAME_LEN`], or a payload that is not
+    /// the message the state machine expects. The connection is unusable
+    /// but the service behind it is untouched.
+    Frame(String),
+    /// A CRC-valid payload could not be encoded or decoded — a protocol
+    /// version mismatch or a bug, never line noise.
+    Codec(String),
+    /// The peer violated the protocol state machine (e.g. a request before
+    /// the handshake, or a response of the wrong kind).
+    Protocol(String),
+    /// The server answered with an explicit error response.
+    Remote {
+        /// The machine-readable class of the failure.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "network I/O error: {e}"),
+            NetError::Frame(m) => write!(f, "bad frame: {m}"),
+            NetError::Codec(m) => write!(f, "wire codec error: {m}"),
+            NetError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            NetError::Remote { code, message } => {
+                write!(f, "server error [{code:?}]: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for NetError {
+    fn from(e: serde_json::Error) -> Self {
+        NetError::Codec(e.to_string())
+    }
+}
+
+impl From<DurabilityError> for NetError {
+    fn from(e: DurabilityError) -> Self {
+        match e {
+            DurabilityError::Io(io) => NetError::Io(io),
+            DurabilityError::Corrupt(m) => NetError::Frame(m),
+            DurabilityError::Codec(m) => NetError::Codec(m),
+            DurabilityError::State(m) => NetError::Protocol(m),
+        }
+    }
+}

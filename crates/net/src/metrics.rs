@@ -1,0 +1,35 @@
+//! Observability handles for the network layer: the `"net"` scope.
+
+use gpm_obs::{Counter, Histogram};
+use std::sync::{Arc, OnceLock};
+
+pub(crate) struct NetMetrics {
+    pub connections: Arc<Counter>,
+    pub requests: Arc<Counter>,
+    pub bad_frames: Arc<Counter>,
+    pub subscriptions: Arc<Counter>,
+    pub deltas_streamed: Arc<Counter>,
+    pub kicked_subscribers: Arc<Counter>,
+    pub bytes_in: Arc<Counter>,
+    pub bytes_out: Arc<Counter>,
+    /// Server-side request handling latency (read → response written).
+    pub request_ns: Arc<Histogram>,
+}
+
+pub(crate) fn net() -> &'static NetMetrics {
+    static M: OnceLock<NetMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let scope = gpm_obs::registry().scope("net");
+        NetMetrics {
+            connections: scope.counter("connections"),
+            requests: scope.counter("requests"),
+            bad_frames: scope.counter("bad_frames"),
+            subscriptions: scope.counter("subscriptions"),
+            deltas_streamed: scope.counter("deltas_streamed"),
+            kicked_subscribers: scope.counter("kicked_subscribers"),
+            bytes_in: scope.counter("bytes_in"),
+            bytes_out: scope.counter("bytes_out"),
+            request_ns: scope.histogram("request_ns"),
+        }
+    })
+}

@@ -1,0 +1,412 @@
+//! Thread-per-connection server exposing one [`MatchService`] on a socket.
+//!
+//! Every connection talks the lockstep protocol of [`crate::proto`]; one
+//! service-wide [`Mutex`] serialises all mutations, so wire clients observe
+//! exactly the in-process semantics — same epochs, same registration-order
+//! delta emission, bit-identical streams.
+//!
+//! # Delta fan-out
+//!
+//! Each wire subscriber is backed by a real in-process
+//! [`gpm_service::Subscription`] — the service's own channel is the source
+//! of truth for what a subscriber must see. After every request that can
+//! emit deltas the server *pumps*: still holding the service lock, it
+//! drains each backing subscription and forwards the deltas into that
+//! subscriber's bounded queue. A writer thread per subscriber moves queue
+//! entries onto the socket. Because the pump runs under the service lock,
+//! the interleaving of batches and forwarded deltas is identical for every
+//! subscriber regardless of thread count.
+//!
+//! # Backpressure
+//!
+//! The per-subscriber queue is bounded ([`ServerOptions::subscriber_queue`]).
+//! When it fills, [`ServerOptions::backpressure`] decides:
+//!
+//! * [`BackpressurePolicy::Block`] — the pump blocks, which blocks the
+//!   request being served. Slow subscribers slow the service; nothing is
+//!   ever dropped.
+//! * [`BackpressurePolicy::Disconnect`] — the subscriber is kicked: its
+//!   stream ends with [`StreamMsg::End`] / [`EndReason::Backpressure`]
+//!   after the queued deltas drain. Dropping is always *explicit*, never a
+//!   silent gap in the stream.
+
+use crate::codec::{read_message, write_message, ReadOutcome};
+use crate::error::NetError;
+use crate::metrics;
+use crate::proto::{EndReason, ErrorCode, Request, Response, StreamMsg, PROTOCOL_VERSION};
+use gpm_service::{MatchDelta, MatchService, QueryId, Subscription, SubscriptionPoll};
+use parking_lot::Mutex;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread;
+
+/// What to do with a subscriber whose bounded queue is full.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum BackpressurePolicy {
+    /// Block the producing request until the subscriber drains. Nothing is
+    /// dropped; slow subscribers slow the whole service.
+    Block,
+    /// Disconnect the subscriber with an explicit
+    /// [`EndReason::Backpressure`] end-of-stream marker.
+    Disconnect,
+}
+
+/// Tunables for [`NetServer`].
+#[derive(Copy, Clone, Debug)]
+pub struct ServerOptions {
+    /// Bounded depth of each subscriber's delta queue (messages, not
+    /// bytes). Must be at least 1.
+    pub subscriber_queue: usize,
+    /// Policy when a subscriber's queue is full.
+    pub backpressure: BackpressurePolicy,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            subscriber_queue: 1024,
+            backpressure: BackpressurePolicy::Block,
+        }
+    }
+}
+
+/// One wire subscriber: the in-process subscription it mirrors, the bounded
+/// queue its writer thread drains, and the slot that records why its stream
+/// ended.
+struct NetSub {
+    sub: Subscription,
+    tx: SyncSender<MatchDelta>,
+    end: Arc<Mutex<Option<EndReason>>>,
+}
+
+struct Shared {
+    svc: Mutex<MatchService>,
+    subs: Mutex<Vec<NetSub>>,
+    opts: ServerOptions,
+}
+
+impl Shared {
+    /// Forwards every newly buffered delta from each backing subscription
+    /// into its wire queue. Must run while the caller still holds the
+    /// service lock, so stream order is the service's emission order.
+    fn pump(&self) {
+        let obs = metrics::net();
+        let mut subs = self.subs.lock();
+        subs.retain(|s| loop {
+            match s.sub.poll() {
+                SubscriptionPoll::Delta(d) => {
+                    match self.opts.backpressure {
+                        BackpressurePolicy::Block => {
+                            if s.tx.send(d).is_err() {
+                                // Writer gone (client hung up); forget it.
+                                return false;
+                            }
+                        }
+                        BackpressurePolicy::Disconnect => match s.tx.try_send(d) {
+                            Ok(()) => {}
+                            Err(TrySendError::Full(_)) => {
+                                *s.end.lock() = Some(EndReason::Backpressure);
+                                obs.kicked_subscribers.inc();
+                                return false;
+                            }
+                            Err(TrySendError::Disconnected(_)) => return false,
+                        },
+                    }
+                    obs.deltas_streamed.inc();
+                }
+                SubscriptionPoll::Empty => return true,
+                SubscriptionPoll::Closed => {
+                    *s.end.lock() = Some(EndReason::QueryClosed);
+                    return false;
+                }
+            }
+        });
+    }
+}
+
+/// A bound-but-not-yet-serving server. [`NetServer::spawn`] starts the
+/// accept loop; see the crate docs for a full serve/connect example.
+pub struct NetServer {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl NetServer {
+    /// Binds a listener and wraps `service` for network access. Use port 0
+    /// to let the OS pick (read it back via [`NetServer::local_addr`]).
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        service: MatchService,
+        opts: ServerOptions,
+    ) -> io::Result<NetServer> {
+        assert!(opts.subscriber_queue >= 1, "subscriber_queue must be >= 1");
+        let listener = TcpListener::bind(addr)?;
+        Ok(NetServer {
+            listener,
+            shared: Arc::new(Shared {
+                svc: Mutex::new(service),
+                subs: Mutex::new(Vec::new()),
+                opts,
+            }),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Starts the accept loop on a background thread and returns the
+    /// control handle.
+    pub fn spawn(self) -> io::Result<ServerHandle> {
+        let addr = self.listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let shared = self.shared;
+        let listener = self.listener;
+        let join = thread::spawn(move || {
+            for conn in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let shared = Arc::clone(&shared);
+                thread::spawn(move || {
+                    metrics::net().connections.inc();
+                    // Connection errors are the peer's problem; the service
+                    // behind the lock is untouched by a failed connection.
+                    let _ = serve_connection(&shared, stream);
+                });
+            }
+        });
+        Ok(ServerHandle {
+            addr,
+            stop,
+            join: Some(join),
+        })
+    }
+}
+
+/// Control handle for a spawned server: address + shutdown.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    join: Option<thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address clients should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting new connections and joins the accept loop.
+    /// Established connections run until their client disconnects.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+/// Reads one request, mapping frame-level failures to the error response
+/// the server should send before closing.
+fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, (ErrorCode, String)> {
+    match read_message::<_, Request>(stream) {
+        Ok(ReadOutcome::Msg(req, n)) => {
+            metrics::net().bytes_in.add(n as u64);
+            Ok(Some(req))
+        }
+        Ok(ReadOutcome::Eof) => Ok(None),
+        Err(NetError::Frame(m)) | Err(NetError::Codec(m)) => {
+            metrics::net().bad_frames.inc();
+            Err((ErrorCode::BadFrame, m))
+        }
+        Err(e) => Err((ErrorCode::Internal, e.to_string())),
+    }
+}
+
+fn send(stream: &mut TcpStream, resp: &Response) -> Result<(), NetError> {
+    let n = write_message(stream, resp)?;
+    metrics::net().bytes_out.add(n as u64);
+    Ok(())
+}
+
+/// Runs one connection to completion: handshake, lockstep requests, and —
+/// if the client subscribes — the one-way stream tail.
+fn serve_connection(shared: &Shared, mut stream: TcpStream) -> Result<(), NetError> {
+    let obs = metrics::net();
+
+    // Handshake: the first frame must be a version-matching Hello.
+    match read_request(&mut stream) {
+        Ok(Some(Request::Hello { version })) if version == PROTOCOL_VERSION => {
+            let svc = shared.svc.lock();
+            let ack = Response::HelloAck {
+                version: PROTOCOL_VERSION,
+                backend: svc.oracle().name().to_string(),
+                epoch: svc.epoch(),
+            };
+            drop(svc);
+            send(&mut stream, &ack)?;
+        }
+        Ok(Some(Request::Hello { version })) => {
+            let _ = send(
+                &mut stream,
+                &Response::Error {
+                    code: ErrorCode::UnsupportedVersion,
+                    message: format!(
+                        "server speaks version {PROTOCOL_VERSION}, client sent {version}"
+                    ),
+                },
+            );
+            return Ok(());
+        }
+        Ok(Some(other)) => {
+            let _ = send(
+                &mut stream,
+                &Response::Error {
+                    code: ErrorCode::BadHandshake,
+                    message: format!("first message must be Hello, got {other:?}"),
+                },
+            );
+            return Ok(());
+        }
+        Ok(None) => return Ok(()), // connected and left; fine
+        Err((code, message)) => {
+            let _ = send(&mut stream, &Response::Error { code, message });
+            return Ok(());
+        }
+    }
+
+    // Lockstep request/response until EOF, a fatal frame error, or a
+    // subscribe (which converts the connection into a stream).
+    loop {
+        let req = match read_request(&mut stream) {
+            Ok(Some(req)) => req,
+            Ok(None) => return Ok(()),
+            Err((code, message)) => {
+                let _ = send(&mut stream, &Response::Error { code, message });
+                return Ok(());
+            }
+        };
+        obs.requests.inc();
+        let _span = obs.request_ns.span();
+
+        let resp = match req {
+            Request::Hello { .. } => Response::Error {
+                code: ErrorCode::BadRequest,
+                message: "connection is already past its handshake".to_string(),
+            },
+            Request::Ping => Response::Pong,
+            Request::Register { pattern } => {
+                let mut svc = shared.svc.lock();
+                let id = svc.register(pattern);
+                shared.pump();
+                Response::Registered { query: id.value() }
+            }
+            Request::Deregister { query } => {
+                let mut svc = shared.svc.lock();
+                let known = svc.deregister(QueryId::from_raw(query));
+                shared.pump(); // closes that query's wire streams
+                Response::Done { known }
+            }
+            Request::Suspend { query } => {
+                let mut svc = shared.svc.lock();
+                let known = svc.suspend(QueryId::from_raw(query));
+                shared.pump();
+                Response::Done { known }
+            }
+            Request::Resume { query } => {
+                let mut svc = shared.svc.lock();
+                let known = svc.resume(QueryId::from_raw(query));
+                shared.pump();
+                Response::Done { known }
+            }
+            Request::ApplyBatch { updates } => {
+                let mut svc = shared.svc.lock();
+                let out = svc.apply(&updates);
+                shared.pump();
+                Response::Applied {
+                    epoch: out.epoch,
+                    applied: out.applied as u64,
+                    aff1: out.aff1 as u64,
+                    deltas: out.deltas,
+                }
+            }
+            Request::Result { query } => {
+                let mut svc = shared.svc.lock();
+                let relation = svc.result(QueryId::from_raw(query));
+                shared.pump(); // lazy reactivation may emit catch-up deltas
+                Response::ResultRelation { relation }
+            }
+            Request::Subscribe { query } => {
+                let mut svc = shared.svc.lock();
+                match svc.subscribe(QueryId::from_raw(query)) {
+                    None => Response::Error {
+                        code: ErrorCode::UnknownQuery,
+                        message: format!("no registered query with id {query}"),
+                    },
+                    Some(sub) => {
+                        obs.subscriptions.inc();
+                        let (tx, rx) = sync_channel(shared.opts.subscriber_queue);
+                        let end = Arc::new(Mutex::new(None));
+                        shared.subs.lock().push(NetSub {
+                            sub,
+                            tx,
+                            end: Arc::clone(&end),
+                        });
+                        // Forward the snapshot (and anything else buffered)
+                        // before the lock drops, so the Subscribed reply is
+                        // immediately followed by the snapshot delta.
+                        shared.pump();
+                        drop(svc);
+                        send(&mut stream, &Response::Subscribed { query })?;
+                        return stream_subscriber(stream, rx, end);
+                    }
+                }
+            }
+        };
+        send(&mut stream, &resp)?;
+    }
+}
+
+/// The one-way tail of a subscribed connection: moves queued deltas onto
+/// the socket, then writes the explicit end-of-stream marker.
+fn stream_subscriber(
+    mut stream: TcpStream,
+    rx: Receiver<MatchDelta>,
+    end: Arc<Mutex<Option<EndReason>>>,
+) -> Result<(), NetError> {
+    let obs = metrics::net();
+    loop {
+        match rx.recv() {
+            Ok(delta) => {
+                let n = write_message(&mut stream, &StreamMsg::Delta(delta))?;
+                obs.bytes_out.add(n as u64);
+            }
+            Err(_) => {
+                // The pump dropped our sender: every queued delta has been
+                // written, and the slot says why the stream ended.
+                let reason = end.lock().take().unwrap_or(EndReason::QueryClosed);
+                let _ = write_message(&mut stream, &StreamMsg::End { reason });
+                return Ok(());
+            }
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Property tests for the wire codec: the same two guarantees the WAL's
+//! codec suite pins (`encode ∘ decode = id`, any single-byte corruption is
+//! rejected), restated over full protocol messages, plus the stream-reader
+//! invariant that concatenated frames read back exactly with a clean EOF.
+
+use gpm_distance::EdgeUpdate;
+use gpm_graph::{NodeId, PatternGraph, PatternGraphBuilder, PatternNodeId};
+use gpm_net::codec::{decode_message, encode_message, read_message, ReadOutcome};
+use gpm_net::{NetError, Request, StreamMsg, PROTOCOL_VERSION};
+use gpm_service::{MatchDelta, QueryId};
+use proptest::prelude::*;
+use std::io::Cursor;
+
+fn chain_pattern(n: usize, bound: u32) -> PatternGraph {
+    let mut b = PatternGraphBuilder::new();
+    for i in 0..n {
+        b = b.labeled_node(format!("l{i}"));
+    }
+    for i in 1..n {
+        b = b.edge(format!("l{}", i - 1), format!("l{i}"), bound);
+    }
+    let (p, _) = b.build().expect("chain pattern is well-formed");
+    p
+}
+
+fn arb_update() -> impl Strategy<Value = EdgeUpdate> {
+    (0u32..2, 0u32..500, 0u32..500).prop_map(|(ins, a, b)| {
+        if ins == 0 {
+            EdgeUpdate::Insert(NodeId::new(a), NodeId::new(b))
+        } else {
+            EdgeUpdate::Delete(NodeId::new(a), NodeId::new(b))
+        }
+    })
+}
+
+fn arb_delta() -> impl Strategy<Value = MatchDelta> {
+    (
+        0u64..1_000_000,
+        0u64..1_000_000,
+        collection::vec((0u32..8, 0u32..500), 0..8),
+        collection::vec((0u32..8, 0u32..500), 0..8),
+    )
+        .prop_map(|(query, epoch, added, removed)| MatchDelta {
+            query: QueryId::from_raw(query),
+            epoch,
+            added: added
+                .into_iter()
+                .map(|(u, v)| (PatternNodeId::new(u), NodeId::new(v)))
+                .collect(),
+            removed: removed
+                .into_iter()
+                .map(|(u, v)| (PatternNodeId::new(u), NodeId::new(v)))
+                .collect(),
+        })
+}
+
+/// Every [`Request`] shape, tag-selected (the vendored proptest has no
+/// `prop_oneof`).
+fn arb_request() -> impl Strategy<Value = Request> {
+    (
+        0u32..9,
+        collection::vec(arb_update(), 0..16),
+        (1usize..5, 1u32..4),
+        0u64..1_000_000,
+    )
+        .prop_map(|(tag, updates, (n, bound), id)| match tag {
+            0 => Request::Hello {
+                version: PROTOCOL_VERSION,
+            },
+            1 => Request::Register {
+                pattern: chain_pattern(n, bound),
+            },
+            2 => Request::Deregister { query: id },
+            3 => Request::Suspend { query: id },
+            4 => Request::Resume { query: id },
+            5 => Request::ApplyBatch { updates },
+            6 => Request::Result { query: id },
+            7 => Request::Subscribe { query: id },
+            _ => Request::Ping,
+        })
+}
+
+fn arb_stream_msg() -> impl Strategy<Value = StreamMsg> {
+    (0u32..4, arb_delta()).prop_map(|(tag, delta)| match tag {
+        0 => StreamMsg::End {
+            reason: gpm_net::EndReason::QueryClosed,
+        },
+        1 => StreamMsg::End {
+            reason: gpm_net::EndReason::Backpressure,
+        },
+        _ => StreamMsg::Delta(delta),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// encode ∘ decode = id for every request shape.
+    #[test]
+    fn prop_request_roundtrip(req in arb_request()) {
+        let frame = encode_message(&req).expect("encodable");
+        prop_assert_eq!(decode_message::<Request>(&frame).expect("decodable"), req);
+    }
+
+    /// encode ∘ decode = id for stream messages (the subscriber path).
+    #[test]
+    fn prop_stream_msg_roundtrip(msg in arb_stream_msg()) {
+        let frame = encode_message(&msg).expect("encodable");
+        prop_assert_eq!(decode_message::<StreamMsg>(&frame).expect("decodable"), msg);
+    }
+
+    /// Any single-byte XOR anywhere in a framed message — length, CRC or
+    /// payload — is rejected by the strict decoder.
+    #[test]
+    fn prop_message_rejects_single_byte_corruption(
+        req in arb_request(),
+        pos_raw in 0usize..1_000_000,
+        mask in 1u32..256,
+    ) {
+        let mut frame = encode_message(&req).expect("encodable");
+        let pos = pos_raw % frame.len();
+        frame[pos] ^= mask as u8;
+        prop_assert!(
+            decode_message::<Request>(&frame).is_err(),
+            "corruption at byte {} (mask {:#04x}) must not decode", pos, mask
+        );
+    }
+
+    /// The same single-byte corruption is rejected by the *stream* reader
+    /// too (the server's actual read path), as a Frame or Codec error —
+    /// never an Io error or a silent success.
+    #[test]
+    fn prop_stream_reader_rejects_single_byte_corruption(
+        req in arb_request(),
+        pos_raw in 0usize..1_000_000,
+        mask in 1u32..256,
+    ) {
+        let mut frame = encode_message(&req).expect("encodable");
+        let pos = pos_raw % frame.len();
+        frame[pos] ^= mask as u8;
+        let mut cur = Cursor::new(&frame);
+        match read_message::<_, Request>(&mut cur) {
+            Err(NetError::Frame(_)) | Err(NetError::Codec(_)) => {}
+            // Growing the length field makes the frame look torn — also a
+            // Frame error by construction, so only non-errors are failures.
+            Ok(out) => prop_assert!(
+                false,
+                "corruption at byte {} (mask {:#04x}) read back as {:?}", pos, mask, out
+            ),
+            Err(NetError::Io(e)) => prop_assert!(
+                false,
+                "corruption at byte {} surfaced as Io({}), not Frame/Codec", pos, e
+            ),
+            Err(_) => {}
+        }
+    }
+
+    /// Concatenated frames read back in order with a clean EOF — the
+    /// reader never eats into a following frame or stops early.
+    #[test]
+    fn prop_stream_of_messages_roundtrips(reqs in collection::vec(arb_request(), 0..8)) {
+        let mut wire = Vec::new();
+        for r in &reqs {
+            wire.extend(encode_message(r).expect("encodable"));
+        }
+        let mut cur = Cursor::new(&wire);
+        let mut back = Vec::new();
+        while let ReadOutcome::Msg(m, _) =
+            read_message::<_, Request>(&mut cur).expect("valid stream")
+        {
+            back.push(m);
+        }
+        prop_assert_eq!(back, reqs);
+    }
+
+    /// Truncating a frame at any byte boundary is a Frame error from the
+    /// stream reader — never EOF, never a partial message.
+    #[test]
+    fn prop_truncation_is_torn_not_eof(req in arb_request(), cut_raw in 0usize..1_000_000) {
+        let frame = encode_message(&req).expect("encodable");
+        let cut = 1 + cut_raw % (frame.len() - 1);
+        let mut cur = Cursor::new(&frame[..cut]);
+        let out = read_message::<_, Request>(&mut cur);
+        prop_assert!(
+            matches!(out, Err(NetError::Frame(_))),
+            "cut at {}: got {:?}", cut, out
+        );
+    }
+}

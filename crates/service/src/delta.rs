@@ -14,17 +14,30 @@
 
 use gpm_core::MatchRelation;
 use gpm_graph::{NodeId, PatternNodeId};
+use serde::{Deserialize, Serialize};
 use std::sync::mpsc;
 
 /// A stable handle for a registered query. Ids are never reused, so a
 /// delta's origin stays unambiguous across deregistrations.
-#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(
+    Copy, Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
 pub struct QueryId(pub(crate) u64);
 
 impl QueryId {
     /// The raw id value.
     pub fn value(&self) -> u64 {
         self.0
+    }
+
+    /// Rebuilds a handle from a raw id value.
+    ///
+    /// This is how ids cross process boundaries (the durable manifest, the
+    /// `gpm-net` wire protocol): the service itself never invents ids this
+    /// way, and calls with an id that was never issued simply address an
+    /// unknown query (`None`/`false` from every engine entry point).
+    pub fn from_raw(id: u64) -> Self {
+        QueryId(id)
     }
 }
 
@@ -40,7 +53,7 @@ impl std::fmt::Display for QueryId {
 /// Both pair lists are sorted by `(pattern node, data node)` and disjoint,
 /// so equal streams are bit-identical — the determinism suite compares them
 /// directly across thread counts.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MatchDelta {
     /// The query this delta belongs to.
     pub query: QueryId,
@@ -171,6 +184,32 @@ impl Subscription {
     pub fn drain(&self) -> Vec<MatchDelta> {
         self.rx.try_iter().collect()
     }
+
+    /// Non-blocking single-delta poll, distinguishing "nothing buffered
+    /// right now" from "the stream has ended" (query deregistered or the
+    /// service dropped). Consumers that forward a subscription elsewhere —
+    /// the `gpm-net` server pumps each wire subscriber's stream this way —
+    /// need the distinction to propagate end-of-stream instead of spinning.
+    pub fn poll(&self) -> SubscriptionPoll {
+        match self.rx.try_recv() {
+            Ok(delta) => SubscriptionPoll::Delta(delta),
+            Err(mpsc::TryRecvError::Empty) => SubscriptionPoll::Empty,
+            Err(mpsc::TryRecvError::Disconnected) => SubscriptionPoll::Closed,
+        }
+    }
+}
+
+/// One non-blocking observation of a [`Subscription`] (see
+/// [`Subscription::poll`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubscriptionPoll {
+    /// The next buffered delta, in emission order.
+    Delta(MatchDelta),
+    /// Nothing buffered; the stream is still live.
+    Empty,
+    /// The stream has ended: every buffered delta was drained and no more
+    /// can arrive.
+    Closed,
 }
 
 #[cfg(test)]

@@ -76,7 +76,7 @@ pub mod snapshot;
 pub mod wal;
 
 pub use catalog::{QueryCatalog, QueryEntry, RepairKind};
-pub use delta::{fold_deltas, MatchDelta, QueryId, Subscription};
+pub use delta::{fold_deltas, MatchDelta, QueryId, Subscription, SubscriptionPoll};
 pub use engine::{BatchOutcome, DurableOptions, MatchService, ServiceStats};
 pub use snapshot::{GraphFormat, Manifest, QuerySnapshot, SegmentMeta};
 pub use wal::{DurabilityError, FailpointWriter, WalOp, WalReadOutcome, WalRecord, WalWriter};

@@ -1,0 +1,141 @@
+//! The continuous-service scenario, over a real socket.
+//!
+//! The same fraud-monitoring setup as `examples/continuous_service.rs`,
+//! but the service lives behind a loopback [`gpm::net::NetServer`] and
+//! every interaction — registering the standing queries, streaming the
+//! update batches, following a delta stream — travels through the framed
+//! wire protocol specified in `PROTOCOL.md`. The punchline is the same
+//! one `tests/net_differential.rs` proves exhaustively: the wire changes
+//! nothing. The subscriber's folded stream still reconstructs the live
+//! result exactly.
+//!
+//! Run with `cargo run --example network_service`.
+
+use gpm::net::{EndReason, NetClient, NetServer, ServerOptions};
+use gpm::{fold_deltas, DataGraphBuilder, EdgeUpdate, MatchService, PatternGraphBuilder};
+
+fn main() {
+    // The payments graph from the continuous_service example.
+    let (mut graph, ids) = DataGraphBuilder::new()
+        .labeled_node("src1")
+        .labeled_node("src2")
+        .labeled_node("mule1")
+        .labeled_node("mule2")
+        .labeled_node("sink")
+        .edge("src1", "mule1")
+        .edge("src2", "mule2")
+        .build()
+        .unwrap();
+    for (name, label) in [
+        ("src1", "account"),
+        ("src2", "account"),
+        ("mule1", "mule"),
+        ("mule2", "mule"),
+        ("sink", "collector"),
+    ] {
+        graph.attributes_mut(ids[name]).set("label", label);
+    }
+
+    // Put the service behind a socket. Port 0 lets the OS pick.
+    let svc = MatchService::new(graph);
+    let server = NetServer::bind("127.0.0.1:0", svc, ServerOptions::default()).unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = server.spawn().unwrap();
+    println!("serving MatchService on {addr}\n");
+
+    // An "admin" connection registers the standing queries.
+    let mut admin = NetClient::connect(addr).unwrap();
+    println!(
+        "handshake: protocol v{}, backend {}, epoch {}",
+        gpm::net::PROTOCOL_VERSION,
+        admin.backend(),
+        admin.epoch_at_connect()
+    );
+
+    let (funnel, _) = PatternGraphBuilder::new()
+        .labeled_node("account")
+        .labeled_node("collector")
+        .edge("account", "collector", 2u32)
+        .build()
+        .unwrap();
+    let (chain, _) = PatternGraphBuilder::new()
+        .labeled_node("account")
+        .labeled_node("mule")
+        .labeled_node("collector")
+        .edge("account", "mule", 1u32)
+        .edge("mule", "collector", 1u32)
+        .build()
+        .unwrap();
+    let q_funnel = admin.register(&funnel).unwrap();
+    let q_chain = admin.register(&chain).unwrap();
+    println!("registered funnel as q{q_funnel}, chain as q{q_chain}\n");
+
+    // A second connection becomes a delta stream for the chain query. Its
+    // first delta is a snapshot of the result at subscribe time.
+    let mut sub = NetClient::connect(addr)
+        .unwrap()
+        .subscribe(q_chain)
+        .unwrap();
+    let snapshot = sub.next().unwrap().expect("snapshot-first");
+    println!(
+        "subscribed to q{q_chain}: snapshot with {} pairs",
+        snapshot.added.len()
+    );
+
+    // Stream update batches through the admin connection; pull the chain
+    // query's deltas off the subscriber socket as they arrive.
+    let batches: Vec<(&str, Vec<EdgeUpdate>)> = vec![
+        (
+            "mules forward to the collection account",
+            vec![
+                EdgeUpdate::Insert(ids["mule1"], ids["sink"]),
+                EdgeUpdate::Insert(ids["mule2"], ids["sink"]),
+            ],
+        ),
+        (
+            "kickback: sink wires back to src1",
+            vec![EdgeUpdate::Insert(ids["sink"], ids["src1"])],
+        ),
+        (
+            "mule1's forwarding edge is taken down",
+            vec![EdgeUpdate::Delete(ids["mule1"], ids["sink"])],
+        ),
+    ];
+
+    let mut stream = vec![snapshot];
+    for (label, batch) in batches {
+        let out = admin.apply(&batch).unwrap();
+        println!("batch {} ({label}): |AFF1| = {}", out.epoch, out.aff1);
+        for d in out.deltas.iter().filter(|d| d.query.value() == q_chain) {
+            let wire = sub.next().unwrap().expect("stream is live");
+            assert_eq!(&wire, d, "wire delta differs from the batch outcome");
+            println!(
+                "  q{q_chain} via socket: +{} pairs, -{} pairs (epoch {})",
+                wire.added.len(),
+                wire.removed.len(),
+                wire.epoch
+            );
+            stream.push(wire);
+        }
+    }
+
+    // Lossless over the wire: folding the streamed deltas from an empty
+    // relation reproduces the live result the admin connection reads.
+    let folded = fold_deltas(3, stream.iter());
+    let live = admin.result(q_chain).unwrap().expect("registered");
+    assert_eq!(folded, live);
+    println!(
+        "\nchain result ({} pairs) reconstructed exactly from the wire stream",
+        folded.pair_count()
+    );
+
+    // Deregistering ends the stream with an explicit marker, never a
+    // silent hang-up.
+    admin.deregister(q_chain).unwrap();
+    let tail = sub.collect_to_end().unwrap();
+    assert!(tail.is_empty());
+    assert_eq!(sub.end_reason(), Some(EndReason::QueryClosed));
+    println!("stream ended explicitly: {:?}", sub.end_reason().unwrap());
+
+    handle.shutdown();
+}
