@@ -10,9 +10,20 @@
 //! bytes the matrix would need. The matrix leg only runs when that
 //! allocation is small enough to be sensible (≤ 1 GiB) — at the default
 //! scale it is printed as unallocatable, which is the point of the
-//! experiment. The maintenance leg is capped by node count because the
-//! `UpdateM` contract enumerates every distance-changed pair exactly, which
-//! is `Θ(|V|²)` per update on a connected graph for any backend.
+//! experiment. The *random* maintenance leg is capped by node count because
+//! the `UpdateM` contract enumerates every distance-changed pair exactly,
+//! which is `Θ(|V|²)` per update on a connected graph for any backend; above
+//! the cap the leg switches to crafted sink-strand deletions (one ancestor
+//! column of `AFF1` each) that force the 2-hop backend onto its rebuild path,
+//! so the row prices the single deferred end-of-batch rebuild instead of
+//! skipping silently.
+//!
+//! A construction sweep precedes the table: the rank-batched bit-parallel
+//! build at the configured thread count, against the sequential reference
+//! loop at small `|V|` (the 868 s / 10⁵-node record holder — pointless to
+//! re-run at full scale). Setting `GPM_ASSERT_BUILD_MS=<n>` turns the batched
+//! build time into a CI smoke assertion: the process exits non-zero when the
+//! build exceeds `n` milliseconds.
 //!
 //! The pattern is anchored to a short walk from a random node, with
 //! equality predicates on a synthetic `part` attribute (≈600 candidates per
@@ -20,8 +31,8 @@
 //! candidate sets, not `|V|²`.
 
 use gpm::{
-    random_updates, CmpOp, Dataset, IncrementalMatcher, NodeId, OracleBackend, PatternGraph,
-    PatternGraphBuilder, Predicate, UpdateStreamConfig,
+    random_updates, CmpOp, Dataset, EdgeUpdate, Executor, IncrementalMatcher, NodeId,
+    OracleBackend, PatternGraph, PatternGraphBuilder, Predicate, TwoHopIndex, UpdateStreamConfig,
 };
 use gpm_bench::{fmt_ms, time, HarnessArgs, Table};
 
@@ -83,6 +94,35 @@ fn anchored_pattern(g: &gpm::DataGraph, start: NodeId) -> PatternGraph {
         .build()
         .expect("chain pattern is well-formed");
     p
+}
+
+/// Rebuild-forcing deletions with *small* `AFF1`: in-edges `(s, t)` of pure
+/// sinks `t` (out-degree 0), with `s` itself upstream-reachable. Because `t`
+/// has no out-edges, only `(·, t)` pairs can change — the exact `AFF1` is
+/// one ancestor column, `O(|V|)` pairs, not the `Θ(|V|²)` of a random batch
+/// — and `d(s, t)` provably grows from 1 (the only length-1 route *is* the
+/// deleted edge), so every one pushes the 2-hop backend onto its rebuild
+/// path. A batch of them prices the one-rebuild-per-batch deferred path at
+/// scales where random maintenance is uncountable. At most one edge per
+/// sink, so the batch stays rebuild-forcing unit by unit.
+fn sink_strand_deletions(g: &gpm::DataGraph, max: usize) -> Vec<EdgeUpdate> {
+    let mut out = Vec::new();
+    for t in g.nodes() {
+        if !g.out_neighbors(t).is_empty() {
+            continue;
+        }
+        if let Some(&s) = g
+            .in_neighbors(t)
+            .iter()
+            .find(|&&s| s != t && !g.in_neighbors(s).is_empty())
+        {
+            out.push(EdgeUpdate::Delete(s, t));
+            if out.len() == max {
+                break;
+            }
+        }
+    }
+    out
 }
 
 fn run_leg(
@@ -188,14 +228,71 @@ fn main() {
             &UpdateStreamConfig::insertions(args.scaled(1_000).min(8)).with_seed(args.seed + 13),
         )
     } else {
-        println!(
-            "maintenance batch skipped at |V| = {} (> {MAINT_NODE_CAP}): exact AFF1\n\
-             enumeration is Θ(|V|²) per update on a connected graph; run with\n\
-             --scale ≤ 0.02 to price per-update repair\n",
-            graph.node_count()
-        );
-        Vec::new()
+        // Above the cap a random batch's exact AFF1 is Θ(|V|²) — but a
+        // sink-strand deletion's is one ancestor column, and every one
+        // demands a rebuild, so the maintenance row prices the deferred
+        // one-rebuild-per-batch path instead of skipping silently.
+        let dels = sink_strand_deletions(&graph, 8);
+        if dels.is_empty() {
+            println!(
+                "maintenance batch skipped at |V| = {} (> {MAINT_NODE_CAP}): no\n\
+                 rebuild-forcing sink-strand edges in this graph, and exact AFF1 for a\n\
+                 random batch is Θ(|V|²) per update; run with --scale ≤ 0.02 to price\n\
+                 per-update repair\n",
+                graph.node_count()
+            );
+        } else {
+            println!(
+                "maintenance batch at |V| = {} (> {MAINT_NODE_CAP}): {} sink-strand\n\
+                 deletions, each stranding one leaf (AFF1 = one ancestor column, not the\n\
+                 Θ(|V|²) of a random batch) and each demanding a rebuild — the maintain\n\
+                 column prices the single deferred end-of-batch rebuild; random-batch\n\
+                 repair is still priced at --scale ≤ 0.02\n",
+                graph.node_count(),
+                dels.len()
+            );
+        }
+        dels
     };
+
+    // Construction sweep: the batched bit-parallel build, with the
+    // sequential reference loop alongside at small |V| (bit-identity
+    // asserted where both run).
+    let exec = Executor::new(args.parallelism());
+    let (batched, batched_build) = time(|| TwoHopIndex::build_with(&graph, &exec));
+    println!(
+        "two-hop batched build: {} ms ({} label entries)",
+        fmt_ms(batched_build),
+        batched.label_entries()
+    );
+    if graph.node_count() <= MAINT_NODE_CAP {
+        let (sequential, seq_build) = time(|| TwoHopIndex::build_sequential(&graph));
+        assert!(
+            sequential == batched,
+            "batched build must be bit-identical to the sequential reference"
+        );
+        println!(
+            "two-hop sequential build: {} ms ({:.2}x the batched build)",
+            fmt_ms(seq_build),
+            seq_build.as_secs_f64() / batched_build.as_secs_f64().max(1e-9)
+        );
+    }
+    drop(batched);
+    if let Ok(cap) = std::env::var("GPM_ASSERT_BUILD_MS") {
+        let cap_ms: u128 = cap
+            .parse()
+            .expect("GPM_ASSERT_BUILD_MS must be a millisecond count");
+        let actual = batched_build.as_millis();
+        if actual > cap_ms {
+            eprintln!(
+                "build-time smoke FAILED: batched build took {actual} ms > \
+                 GPM_ASSERT_BUILD_MS={cap_ms}"
+            );
+            std::process::exit(1);
+        }
+        println!("build-time smoke passed: {actual} ms <= {cap_ms} ms cap");
+    }
+    println!();
 
     let mut table = Table::new(
         "exp_oracle_scale: match + batch maintenance per backend",

@@ -60,8 +60,13 @@ pub(crate) struct TwoHopMetrics {
     pub delete_noop: Arc<Counter>,
     pub delete_row_repair: Arc<Counter>,
     pub delete_rebuild: Arc<Counter>,
+    /// Batches in which rebuild-demanding deletions were deferred into the
+    /// single end-of-batch rebuild.
+    pub batch_deferred: Arc<Counter>,
     pub rebuilds: Arc<Counter>,
     pub rebuild_ns: Arc<Histogram>,
+    /// Label entries dropped by `prune_dominated`.
+    pub pruned_labels: Arc<Counter>,
 }
 
 pub(crate) fn twohop_extra() -> &'static TwoHopMetrics {
@@ -73,8 +78,10 @@ pub(crate) fn twohop_extra() -> &'static TwoHopMetrics {
             delete_noop: scope.counter("twohop.delete_noop"),
             delete_row_repair: scope.counter("twohop.delete_row_repair"),
             delete_rebuild: scope.counter("twohop.delete_rebuild"),
+            batch_deferred: scope.counter("twohop.batch_deferred"),
             rebuilds: scope.counter("twohop.rebuilds"),
             rebuild_ns: scope.histogram("twohop.rebuild_ns"),
+            pruned_labels: scope.counter("twohop.pruned_labels"),
         }
     })
 }

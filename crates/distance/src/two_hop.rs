@@ -28,7 +28,7 @@ pub(crate) type LabelEntry = (u32, u16);
 /// * `label_in(v)`: hubs `h` that reach `v`, with `dist(h → v)`.
 ///
 /// `dist(x, y) = min over common hubs h of dist(x → h) + dist(h → y)`.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TwoHopIndex {
     /// Outgoing hub labels per node, sorted by hub rank.
     pub(crate) label_out: Vec<Vec<LabelEntry>>,
@@ -49,12 +49,22 @@ impl TwoHopIndex {
 
     /// Builds the labeling on the shared executor.
     ///
-    /// The landmark loop itself is inherently sequential — the pruned BFS of
-    /// each hub prunes against the labels of every *higher-ranked* hub, and
-    /// that ordering is exactly what keeps label sizes small — so only the
-    /// per-node diagonal pass (shortest cycle through each node, pure label
-    /// queries) is fanned out across the workers.
+    /// Landmarks are processed in rank batches of 64 roots
+    /// (see [`build_batched`](Self::build_batched)): each batch's pruned
+    /// BFSes run word-parallel (one bit per root) and concurrently across the
+    /// workers, and a sequential rank-order replay commits labels that are
+    /// bit-identical to [`build_sequential`](Self::build_sequential).
     pub fn build_with(g: &DataGraph, exec: &Executor) -> Self {
+        Self::build_batched(g, exec, DEFAULT_BATCH)
+    }
+
+    /// Reference construction: one pruned BFS pair per landmark, strictly in
+    /// rank order, pruning against the labels of every higher-ranked hub.
+    ///
+    /// This is the semantics every other construction path must reproduce
+    /// bit for bit; the differential suite pins
+    /// [`build_batched`](Self::build_batched) against it.
+    pub fn build_sequential(g: &DataGraph) -> Self {
         let n = g.node_count();
         let mut order: Vec<NodeId> = g.nodes().collect();
         order.sort_by_key(|&v| (std::cmp::Reverse(g.total_degree(v)), v));
@@ -97,14 +107,186 @@ impl TwoHopIndex {
             }
         }
 
+        Self::with_diagonal(g, &Executor::sequential(), label_out, label_in)
+    }
+
+    /// Rank-batched, bit-parallel construction.
+    ///
+    /// Landmarks are processed in batches of `batch_size` (clamped to
+    /// `1..=64`) consecutive ranks. Each batch runs in two phases:
+    ///
+    /// 1. **Phase A** (parallel): per direction, one word-parallel
+    ///    level-synchronous BFS carries all of the batch's roots as bits of a
+    ///    `u64` frontier mask, pruning each root's bit against the labels
+    ///    committed by *earlier batches* only. The prune value computed for
+    ///    every (root, node) visit is cached, replacing the sequential
+    ///    build's per-pop label merge-join with a dense table lookup shared
+    ///    across up to 64 roots. Roots are split into contiguous groups, one
+    ///    `gpm-exec` task each.
+    /// 2. **Phase B** (sequential): the batch's pruned BFSes are replayed in
+    ///    exact rank order, with the prune test assembled from the cached
+    ///    phase-A value plus the intra-batch term over the labels committed
+    ///    by lower-ranked same-batch roots. This reproduces the sequential
+    ///    prune decisions exactly, so the committed labels — and hence the
+    ///    whole index — are **bit-identical** to
+    ///    [`build_sequential`](Self::build_sequential) for every batch size
+    ///    and thread count.
+    ///
+    /// Phase A may visit nodes phase B prunes (it prunes against strictly
+    /// fewer labels), and every node phase B visits was visited by phase A at
+    /// an equal or smaller depth — which is what makes the cached prune
+    /// values safe to reuse.
+    pub fn build_batched(g: &DataGraph, exec: &Executor, batch_size: usize) -> Self {
+        let n = g.node_count();
+        let b = batch_size.clamp(1, 64);
+        let mut order: Vec<NodeId> = g.nodes().collect();
+        order.sort_by_key(|&v| (std::cmp::Reverse(g.total_degree(v)), v));
+
+        let mut label_out: Vec<Vec<LabelEntry>> = vec![Vec::new(); n];
+        let mut label_in: Vec<Vec<LabelEntry>> = vec![Vec::new(); n];
+
+        let n_groups = exec.threads().clamp(1, b);
+        let group_cap = b.div_ceil(n_groups);
+        let mut groups: Vec<GroupScratch> = (0..n_groups)
+            .map(|_| GroupScratch::new(n, group_cap))
+            .collect();
+
+        // Labels committed by the current batch, dense per (node, batch-local
+        // root): `bd_fwd[v * b + j]` mirrors the rank-`(base + j)` entry of
+        // `label_in[v]` (forward commits), `bd_bwd` the `label_out[v]` entry
+        // (backward commits). `UNREACHABLE` = no label; reset via the touched
+        // lists after every batch.
+        let mut bd_fwd = vec![UNREACHABLE; n * b];
+        let mut bd_bwd = vec![UNREACHABLE; n * b];
+        let mut touched_fwd: Vec<usize> = Vec::new();
+        let mut touched_bwd: Vec<usize> = Vec::new();
+
+        let mut dist = vec![UNREACHABLE; n];
+        let mut queue = VecDeque::new();
+        let mut hub_side: Vec<(usize, u16)> = Vec::with_capacity(b);
+
+        let mut base = 0usize;
+        while base < n {
+            let len = b.min(n - base);
+            let roots = &order[base..base + len];
+            let gw = len.div_ceil(n_groups);
+
+            // Phase A: one task per root group, both directions.
+            {
+                let label_out = &label_out;
+                let label_in = &label_in;
+                let slots: Vec<&mut GroupScratch> = groups.iter_mut().collect();
+                exec.scope(|s| {
+                    for (gi, group) in slots.into_iter().enumerate() {
+                        let j0 = (gi * gw).min(len);
+                        let j1 = ((gi + 1) * gw).min(len);
+                        if j0 >= j1 {
+                            continue;
+                        }
+                        let roots = &roots[j0..j1];
+                        s.spawn(move || {
+                            group.phase_a(g, roots, Direction::Forward, label_out, label_in);
+                            group.phase_a(g, roots, Direction::Backward, label_out, label_in);
+                        });
+                    }
+                });
+            }
+
+            // Phase B: exact replay in rank order, committing after each BFS
+            // exactly as the sequential build does.
+            for j in 0..len {
+                let rank = (base + j) as u32;
+                let hub = roots[j];
+                let grp = &groups[j / gw];
+                let jl = j % gw;
+
+                // Forward: the intra-batch prune term runs over common hubs
+                // base..base+j — hub-side distances from backward commits,
+                // node-side from forward commits.
+                hub_side.clear();
+                let hub_row = &bd_bwd[hub.index() * b..hub.index() * b + j];
+                for (j2, &dh) in hub_row.iter().enumerate() {
+                    if dh != UNREACHABLE {
+                        hub_side.push((j2, dh));
+                    }
+                }
+                let labelled = replay_pruned_bfs(
+                    g,
+                    hub,
+                    Direction::Forward,
+                    &grp.already_fwd[jl * n..(jl + 1) * n],
+                    &hub_side,
+                    &bd_fwd,
+                    b,
+                    &mut dist,
+                    &mut queue,
+                );
+                for &(v, dv) in &labelled {
+                    label_in[v.index()].push((rank, dv));
+                    let slot = v.index() * b + j;
+                    bd_fwd[slot] = dv;
+                    touched_fwd.push(slot);
+                }
+
+                // Backward: hub-side from forward commits, node-side from
+                // backward commits. (The root's own fresh forward label is
+                // rank base+j on the in-side only, so it never joins.)
+                hub_side.clear();
+                let hub_row = &bd_fwd[hub.index() * b..hub.index() * b + j];
+                for (j2, &dh) in hub_row.iter().enumerate() {
+                    if dh != UNREACHABLE {
+                        hub_side.push((j2, dh));
+                    }
+                }
+                let labelled = replay_pruned_bfs(
+                    g,
+                    hub,
+                    Direction::Backward,
+                    &grp.already_bwd[jl * n..(jl + 1) * n],
+                    &hub_side,
+                    &bd_bwd,
+                    b,
+                    &mut dist,
+                    &mut queue,
+                );
+                for &(v, dv) in &labelled {
+                    label_out[v.index()].push((rank, dv));
+                    let slot = v.index() * b + j;
+                    bd_bwd[slot] = dv;
+                    touched_bwd.push(slot);
+                }
+            }
+
+            for &slot in &touched_fwd {
+                bd_fwd[slot] = UNREACHABLE;
+            }
+            touched_fwd.clear();
+            for &slot in &touched_bwd {
+                bd_bwd[slot] = UNREACHABLE;
+            }
+            touched_bwd.clear();
+            base += len;
+        }
+
+        Self::with_diagonal(g, exec, label_out, label_in)
+    }
+
+    /// Finishes an index from committed labels: the non-empty diagonal (the
+    /// shortest cycle through `v` is `1 + min over out-neighbours s of
+    /// dist(s, v)`) is pure label queries, fanned out across the workers one
+    /// node-range chunk per task.
+    fn with_diagonal(
+        g: &DataGraph,
+        exec: &Executor,
+        label_out: Vec<Vec<LabelEntry>>,
+        label_in: Vec<Vec<LabelEntry>>,
+    ) -> Self {
+        let n = g.node_count();
         let mut index = TwoHopIndex {
             label_out,
             label_in,
             diagonal: vec![UNREACHABLE; n],
         };
-        // Non-empty diagonal: the shortest cycle through v is
-        // 1 + min over out-neighbours s of dist(s, v). Label queries only —
-        // one independent task chunk per node range.
         index.diagonal = {
             let idx = &index;
             exec.par_map_index(n, |vi| {
@@ -216,12 +398,255 @@ pub(crate) fn merge_min(out: &[LabelEntry], inc: &[LabelEntry]) -> u16 {
     best
 }
 
+/// Default number of same-batch roots packed into one word-parallel BFS
+/// frontier (one bit per root; the word is a `u64`).
+pub(crate) const DEFAULT_BATCH: usize = 64;
+
 #[derive(Clone, Copy)]
 pub(crate) enum Direction {
     /// Follow out-edges.
     Forward,
     /// Follow in-edges.
     Backward,
+}
+
+/// Per-group scratch for the batched construction, persistent across batches
+/// (every buffer is reset through a touched list, never reallocated).
+struct GroupScratch {
+    n: usize,
+    /// Row capacity: max roots this group handles per batch.
+    cap: usize,
+    /// Bitmask of roots that reached each node (phase A), reset per pass.
+    arrived: Vec<u64>,
+    /// Next-level mask accumulator, cleared while draining `next_list`.
+    next: Vec<u64>,
+    /// Dense hub-side label table: `tmp[rank * cap + j]` = pre-batch
+    /// `label_out`/`label_in` entry of root `j`'s hub for `rank`.
+    tmp: Vec<u16>,
+    tmp_touched: Vec<usize>,
+    /// Cached phase-A prune values, `already_*[j * n + v]`; only slots the
+    /// phase-A BFS visited this batch are ever read back, so no reset.
+    already_fwd: Vec<u16>,
+    already_bwd: Vec<u16>,
+    frontier: Vec<(u32, u64)>,
+    next_list: Vec<u32>,
+    arrived_list: Vec<u32>,
+}
+
+impl GroupScratch {
+    fn new(n: usize, cap: usize) -> Self {
+        GroupScratch {
+            n,
+            cap,
+            arrived: vec![0; n],
+            next: vec![0; n],
+            tmp: vec![UNREACHABLE; n * cap],
+            tmp_touched: Vec::new(),
+            already_fwd: vec![0; n * cap],
+            already_bwd: vec![0; n * cap],
+            frontier: Vec::new(),
+            next_list: Vec::new(),
+            arrived_list: Vec::new(),
+        }
+    }
+
+    /// Phase A: word-parallel pruned BFS for this group's `roots`, pruning
+    /// against the labels committed by earlier batches only. Caches the
+    /// computed prune value for every (root, node) visit in `already_fwd` /
+    /// `already_bwd`. A root's bit stops expanding as soon as its prune value
+    /// resolves to `<= depth`, exactly like the sequential prune — except
+    /// that the intra-batch label term is deferred to phase B.
+    fn phase_a(
+        &mut self,
+        g: &DataGraph,
+        roots: &[NodeId],
+        direction: Direction,
+        label_out: &[Vec<LabelEntry>],
+        label_in: &[Vec<LabelEntry>],
+    ) {
+        let (n, cap) = (self.n, self.cap);
+        let width = roots.len();
+        debug_assert!(width <= cap && width <= 64);
+
+        // Dense hub-side table: one column per root, rows indexed by the
+        // pre-batch rank of the joining hub.
+        for (j, &hub) in roots.iter().enumerate() {
+            let hub_labels = match direction {
+                Direction::Forward => &label_out[hub.index()],
+                Direction::Backward => &label_in[hub.index()],
+            };
+            for &(r, d) in hub_labels {
+                let slot = r as usize * cap + j;
+                self.tmp[slot] = d;
+                self.tmp_touched.push(slot);
+            }
+        }
+
+        self.frontier.clear();
+        for (j, &hub) in roots.iter().enumerate() {
+            self.arrived[hub.index()] |= 1u64 << j;
+            self.arrived_list.push(hub.index() as u32);
+            self.frontier.push((hub.index() as u32, 1u64 << j));
+        }
+        let already = match direction {
+            Direction::Forward => &mut self.already_fwd,
+            Direction::Backward => &mut self.already_bwd,
+        };
+
+        let mut d: u16 = 0;
+        while !self.frontier.is_empty() {
+            for &(vu, m) in &self.frontier {
+                let v = vu as usize;
+                let node_labels = match direction {
+                    Direction::Forward => &label_in[v],
+                    Direction::Backward => &label_out[v],
+                };
+                // One scan of the node-side label list serves every root bit
+                // that arrived at this level; a bit leaves the alive mask as
+                // soon as a common-hub sum resolves it as pruned.
+                let mut cur = [UNREACHABLE; 64];
+                let mut alive = m;
+                'scan: for &(r, dv) in node_labels {
+                    let row = r as usize * cap;
+                    let mut bits = alive;
+                    while bits != 0 {
+                        let j = bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        let t = self.tmp[row + j];
+                        if t != UNREACHABLE {
+                            let sum = t.saturating_add(dv).min(UNREACHABLE - 1);
+                            if sum < cur[j] {
+                                cur[j] = sum;
+                                if sum <= d {
+                                    alive &= !(1u64 << j);
+                                    if alive == 0 {
+                                        break 'scan;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                let mut expand = 0u64;
+                let mut bits = m;
+                while bits != 0 {
+                    let j = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    already[j * n + v] = cur[j];
+                    if cur[j] > d {
+                        expand |= 1u64 << j;
+                    }
+                }
+                // Depth saturation, as in the sequential pruned BFS.
+                if expand != 0 && d < UNREACHABLE - 1 {
+                    let neighbours = match direction {
+                        Direction::Forward => g.out_neighbors(NodeId::new(vu)),
+                        Direction::Backward => g.in_neighbors(NodeId::new(vu)),
+                    };
+                    for &w in neighbours {
+                        let wi = w.index();
+                        let prev = self.arrived[wi];
+                        let add = expand & !prev;
+                        if add != 0 {
+                            if prev == 0 {
+                                self.arrived_list.push(wi as u32);
+                            }
+                            if self.next[wi] == 0 {
+                                self.next_list.push(wi as u32);
+                            }
+                            self.arrived[wi] |= add;
+                            self.next[wi] |= add;
+                        }
+                    }
+                }
+            }
+            self.frontier.clear();
+            for &w in &self.next_list {
+                self.frontier.push((w, self.next[w as usize]));
+                self.next[w as usize] = 0;
+            }
+            self.next_list.clear();
+            d = d.saturating_add(1);
+        }
+
+        for &slot in &self.tmp_touched {
+            self.tmp[slot] = UNREACHABLE;
+        }
+        self.tmp_touched.clear();
+        for &v in &self.arrived_list {
+            self.arrived[v as usize] = 0;
+        }
+        self.arrived_list.clear();
+    }
+}
+
+/// Phase-B replay of one root's pruned BFS: identical traversal to
+/// [`pruned_bfs`], with the label merge-join replaced by the cached phase-A
+/// prune value plus the intra-batch term over the same-batch labels committed
+/// so far (`hub_side` lists the finite hub-side distances per lower local
+/// rank; `node_side` is the dense committed-label table, `v * b + j`).
+#[allow(clippy::too_many_arguments)]
+fn replay_pruned_bfs(
+    g: &DataGraph,
+    hub: NodeId,
+    direction: Direction,
+    already: &[u16],
+    hub_side: &[(usize, u16)],
+    node_side: &[u16],
+    b: usize,
+    dist: &mut [u16],
+    queue: &mut VecDeque<NodeId>,
+) -> Vec<(NodeId, u16)> {
+    queue.clear();
+    dist[hub.index()] = 0;
+    queue.push_back(hub);
+    let mut visited: Vec<NodeId> = vec![hub];
+    let mut labelled: Vec<(NodeId, u16)> = Vec::new();
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v.index()];
+        // Every node popped here was visited by phase A at depth <= d, so
+        // the cached slot is fresh; the stored value prunes identically to
+        // the full pre-batch merge-join (an early-terminated value is only
+        // ever `<= the phase-A depth <= d`, which decides the same way).
+        let mut best = already[v.index()];
+        if best > d {
+            let row = v.index() * b;
+            for &(j2, dh) in hub_side {
+                let dn = node_side[row + j2];
+                if dn != UNREACHABLE {
+                    let sum = dh.saturating_add(dn).min(UNREACHABLE - 1);
+                    if sum < best {
+                        best = sum;
+                        if sum <= d {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        if best <= d {
+            continue;
+        }
+        labelled.push((v, d));
+        if d >= UNREACHABLE - 1 {
+            continue;
+        }
+        let neighbours = match direction {
+            Direction::Forward => g.out_neighbors(v),
+            Direction::Backward => g.in_neighbors(v),
+        };
+        for &w in neighbours {
+            if dist[w.index()] == UNREACHABLE {
+                dist[w.index()] = d + 1;
+                visited.push(w);
+                queue.push_back(w);
+            }
+        }
+    }
+    for v in visited {
+        dist[v.index()] = UNREACHABLE;
+    }
+    labelled
 }
 
 /// Pruned BFS from `hub` following out-edges (`Forward`) or in-edges
@@ -498,6 +923,44 @@ mod tests {
         let idx = TwoHopIndex::build(&g);
         assert_eq!(idx.nonempty_distance(n(0), n(0)), Some(1));
         assert_eq!(idx.nonempty_distance(n(1), n(1)), None);
+    }
+
+    #[test]
+    fn batched_build_is_bit_identical_to_sequential() {
+        let g = sample();
+        let seq = TwoHopIndex::build_sequential(&g);
+        for threads in [1usize, 2, 8] {
+            let exec =
+                Executor::new(gpm_exec::Parallelism::new(threads).with_sequential_threshold(0));
+            for bs in [1usize, 7, 64] {
+                let batched = TwoHopIndex::build_batched(&g, &exec, bs);
+                assert_eq!(batched, seq, "threads={threads} batch={bs}");
+            }
+        }
+    }
+
+    proptest! {
+        /// The batched construction reproduces the sequential labels bit for
+        /// bit on random graphs, for every batch size.
+        #[test]
+        fn prop_batched_is_bit_identical(
+            nodes in 2usize..14,
+            edges in proptest::collection::vec((0u32..14, 0u32..14), 0..60),
+            batch in 1usize..9
+        ) {
+            let mut g = DataGraph::new();
+            g.add_nodes(nodes);
+            for (a, b) in edges {
+                if (a as usize) < nodes && (b as usize) < nodes {
+                    let _ = g.try_add_edge(n(a), n(b));
+                }
+            }
+            let seq = TwoHopIndex::build_sequential(&g);
+            let exec = Executor::new(
+                gpm_exec::Parallelism::new(3).with_sequential_threshold(0),
+            );
+            prop_assert_eq!(TwoHopIndex::build_batched(&g, &exec, batch), seq);
+        }
     }
 
     proptest! {

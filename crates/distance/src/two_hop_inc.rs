@@ -25,7 +25,15 @@
 //!   the deletion destroyed) — and the rebuild is recorded in
 //!   [`rebuild_count`](IncrementalTwoHop::rebuild_count) so benchmarks and the
 //!   adversarial-topology tests can observe exactly where incremental repair
-//!   degrades.
+//!   degrades;
+//! * **batches** ([`DistanceOracle::apply_batch`]) pay at most **one**
+//!   rebuild no matter how many deletions in the batch demand one. The first
+//!   rebuild-demanding deletion flips the batch into *deferred* mode: from
+//!   then on every unit's `AFF1` is computed against a truth overlay (BFS
+//!   distances for the pairs whose labels went stale) without touching the
+//!   labels, and the batch ends with a single batched, parallel
+//!   [`TwoHopIndex::build_with`] on the final graph followed by a
+//!   [`prune_dominated`](IncrementalTwoHop::prune_dominated) pass.
 //!
 //! The reported `AFF1` is **bit-identical** to the distance matrix's for
 //! insertions (same pairs, same order, same old/new values) and identical
@@ -34,13 +42,37 @@
 //! rectangle diff). Downstream match repair treats `AFF1` as a set of
 //! affected sources, so both backends drive identical match deltas.
 
-use crate::incremental::{AffectedPair, AffectedPairs};
+use crate::incremental::{AffectedPair, AffectedPairs, EdgeUpdate};
 use crate::oracle::DistanceOracle;
 use crate::two_hop::{merge_min, Direction, LabelEntry, TwoHopIndex};
 use crate::UNREACHABLE;
 use gpm_exec::Executor;
 use gpm_graph::{DataGraph, EdgeBound, NodeId};
+use rustc_hash::FxHashMap;
 use std::collections::VecDeque;
+
+/// True non-empty distances for the pairs whose label answers went stale
+/// during a deferred batch (`UNREACHABLE` = ∅). Absent pairs are exact in the
+/// labels; the overlay is dropped when the end-of-batch rebuild lands.
+type Overlay = FxHashMap<(NodeId, NodeId), u16>;
+
+/// Outcome of the cheap deletion triage (row diff + upstream-source probe).
+enum DeleteTriage {
+    /// The deletion was a provable no-op or was repaired in place; the labels
+    /// are exact again and the AFF1 is final.
+    Repaired(AffectedPairs),
+    /// The deletion demands a rebuild. The labels were left untouched (still
+    /// exact for the *pre-deletion* graph); the caller decides whether to
+    /// rebuild immediately (unit path) or defer to the end of the batch.
+    NeedsRebuild {
+        /// Row-diff pairs, all with source `s`.
+        affected: Vec<AffectedPair>,
+        /// Sinks whose `(s, ·)` distance the deletion changed.
+        changed_sinks: Vec<NodeId>,
+        /// Nodes (`≠ s`) that reach `s` — the candidate rectangle's sources.
+        sources: Vec<NodeId>,
+    },
+}
 
 /// A 2-hop labeled distance oracle with incremental maintenance.
 ///
@@ -86,10 +118,26 @@ impl IncrementalTwoHop {
     }
 
     /// Approximate resident size of the index in bytes.
+    ///
+    /// Label storage is accounted at Vec *capacity* — the per-node label
+    /// vectors carry a 3-word header each plus whatever slack their growth
+    /// left behind (insertion repair appends entries one at a time), and the
+    /// old entries-times-entry-size formula under-reported both in the
+    /// `exp_oracle_scale` and `svc_*` memory columns.
     pub fn memory_bytes(&self) -> usize {
-        self.index.label_entries() * std::mem::size_of::<LabelEntry>()
-            + self.index.diagonal.len() * std::mem::size_of::<u16>()
-            + self.hubs_by_rank.len() * std::mem::size_of::<NodeId>()
+        let header = std::mem::size_of::<Vec<LabelEntry>>();
+        let entry = std::mem::size_of::<LabelEntry>();
+        let entries: usize = self
+            .index
+            .label_out
+            .iter()
+            .chain(self.index.label_in.iter())
+            .map(Vec::capacity)
+            .sum();
+        entries * entry
+            + (self.index.label_out.capacity() + self.index.label_in.capacity()) * header
+            + self.index.diagonal.capacity() * std::mem::size_of::<u16>()
+            + self.hubs_by_rank.capacity() * std::mem::size_of::<NodeId>()
     }
 
     /// Non-empty distance between two nodes (diagonal = shortest cycle).
@@ -100,6 +148,68 @@ impl IncrementalTwoHop {
     /// Standard distance (diagonal 0), `None` if unreachable.
     pub fn standard_distance(&self, x: NodeId, y: NodeId) -> Option<u32> {
         self.index.standard_distance(x, y)
+    }
+
+    /// Drops label entries that the remaining labels *strictly* dominate,
+    /// returning how many were removed.
+    ///
+    /// Insertion repair deliberately leaves stale entries behind ("may
+    /// linger", module docs): they keep queries exact — every entry is a real
+    /// path length, so an out-of-date one can only over-estimate and never
+    /// wins an exact minimum — but a long insert stream grows the index
+    /// without bound and skews [`memory_bytes`](Self::memory_bytes) trends.
+    /// An entry `(h, d)` of `label_in(v)` is dropped when the 2-hop query
+    /// `h → v` over the other common hubs is `< d`: strictness is what makes
+    /// the drop provably safe (the certificate is itself a path, so `< d`
+    /// means the entry over-estimates the true distance and can never be the
+    /// unique exact witness of any query). Self entries (`d == 0`) can never
+    /// be strictly beaten, so the rank recovery the repair paths rely on is
+    /// preserved.
+    ///
+    /// `O(Σ label sizes × average label size)` and a no-op right after a
+    /// fresh build in the common case. Mirroring
+    /// [`DataGraph::compact`](gpm_graph::DataGraph::compact), long-running
+    /// incremental workloads call it at convenient quiesce points; the
+    /// end-of-batch deferred rebuild calls it automatically.
+    pub fn prune_dominated(&mut self) -> usize {
+        let hubs = &self.hubs_by_rank;
+        let n = self.index.label_in.len();
+        let mut dropped = 0usize;
+        // In-labels first against intact out-labels, then out-labels against
+        // the pruned in-labels: each drop is individually safe, so the fixed
+        // deterministic order only matters for reproducibility.
+        for v in 0..n {
+            let mut i = 0;
+            while i < self.index.label_in[v].len() {
+                let (r, d) = self.index.label_in[v][i];
+                let hub = hubs[r as usize];
+                if merge_min(&self.index.label_out[hub.index()], &self.index.label_in[v]) < d {
+                    self.index.label_in[v].remove(i);
+                    dropped += 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        for v in 0..n {
+            let mut i = 0;
+            while i < self.index.label_out[v].len() {
+                let (r, d) = self.index.label_out[v][i];
+                let hub = hubs[r as usize];
+                if merge_min(&self.index.label_out[v], &self.index.label_in[hub.index()]) < d {
+                    self.index.label_out[v].remove(i);
+                    dropped += 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        if dropped > 0 {
+            crate::metrics::twohop_extra()
+                .pruned_labels
+                .add(dropped as u64);
+        }
+        dropped
     }
 
     fn insert_repair(
@@ -222,18 +332,12 @@ impl IncrementalTwoHop {
         AffectedPairs { pairs }
     }
 
-    fn delete_repair(
-        &mut self,
-        g: &DataGraph,
-        s: NodeId,
-        t: NodeId,
-        exec: &Executor,
-    ) -> AffectedPairs {
-        debug_assert!(
-            !g.has_edge(s, t),
-            "graph must no longer contain the deleted edge"
-        );
-        let _ = t;
+    /// Classifies a deletion as no-op / row-repair / rebuild-demanding and
+    /// performs the in-place repair for the first two tiers. For the third
+    /// the labels are deliberately left untouched so both the unit path
+    /// (immediate rebuild) and the batch path (deferred rebuild) can still
+    /// read exact pre-deletion values out of them.
+    fn delete_triage(&mut self, g: &DataGraph, s: NodeId) -> DeleteTriage {
         let n = g.node_count();
         let mut affected = Vec::new();
 
@@ -258,7 +362,7 @@ impl IncrementalTwoHop {
         if changed_sinks.is_empty() {
             // Provable no-op: the labels stay exact, no rebuild needed.
             crate::metrics::twohop_extra().delete_noop.inc();
-            return AffectedPairs { pairs: affected };
+            return DeleteTriage::Repaired(AffectedPairs { pairs: affected });
         }
 
         // std(x, s) is unchanged by the deletion; the candidate rectangle is
@@ -274,8 +378,35 @@ impl IncrementalTwoHop {
             // labels are repairable in place from the fresh BFS row.
             crate::metrics::twohop_extra().delete_row_repair.inc();
             self.repair_source_row(g, s, &new_row);
-            return AffectedPairs { pairs: affected };
+            return DeleteTriage::Repaired(AffectedPairs { pairs: affected });
         }
+        DeleteTriage::NeedsRebuild {
+            affected,
+            changed_sinks,
+            sources,
+        }
+    }
+
+    fn delete_repair(
+        &mut self,
+        g: &DataGraph,
+        s: NodeId,
+        t: NodeId,
+        exec: &Executor,
+    ) -> AffectedPairs {
+        debug_assert!(
+            !g.has_edge(s, t),
+            "graph must no longer contain the deleted edge"
+        );
+        let _ = t;
+        let (mut affected, changed_sinks, sources) = match self.delete_triage(g, s) {
+            DeleteTriage::Repaired(aff) => return aff,
+            DeleteTriage::NeedsRebuild {
+                affected,
+                changed_sinks,
+                sources,
+            } => (affected, changed_sinks, sources),
+        };
         // Snapshot the old rectangle values before the labels are replaced.
         let old_vals: Vec<u16> = sources
             .iter()
@@ -374,6 +505,156 @@ impl IncrementalTwoHop {
         // through the deleted edge would have to reach s).
         self.index.diagonal[s.index()] = new_row[s.index()];
     }
+
+    /// True non-empty distance under a deferred batch: the overlay wins,
+    /// absent pairs are still exact in the labels.
+    fn overlay_distance(&self, overlay: &Overlay, x: NodeId, y: NodeId) -> u16 {
+        overlay
+            .get(&(x, y))
+            .copied()
+            .unwrap_or_else(|| self.index.nonempty_raw(x, y))
+    }
+
+    /// AFF1 for an insertion inside a deferred batch. Mirrors
+    /// [`insert_repair`](Self::insert_repair)'s rectangle scan with
+    /// overlay-aware old values, but performs **no** label surgery — every
+    /// improved pair is recorded in `overlay` instead, and the end-of-batch
+    /// rebuild makes the labels exact again.
+    fn deferred_insert(
+        &self,
+        g: &DataGraph,
+        s: NodeId,
+        t: NodeId,
+        exec: &Executor,
+        overlay: &mut Overlay,
+    ) -> Vec<AffectedPair> {
+        let n = g.node_count();
+        // std(x, s) and std(t, y) are unchanged by the insertion, exactly as
+        // in the healthy path.
+        let to_s = distance_row(g, s, Direction::Backward, false);
+        let from_t = distance_row(g, t, Direction::Forward, false);
+        let sinks: Vec<(NodeId, u16)> = (0..n as u32)
+            .map(NodeId::new)
+            .filter_map(|y| {
+                let d = from_t[y.index()];
+                (d != UNREACHABLE).then_some((y, d))
+            })
+            .collect();
+        let ov: &Overlay = overlay;
+        let per_source: Vec<Vec<AffectedPair>> = exec.par_map_index(n, |xi| {
+            let x = NodeId::new(xi as u32);
+            let dx = to_s[xi];
+            if dx == UNREACHABLE {
+                return Vec::new();
+            }
+            let to_t = self.overlay_distance(ov, x, t);
+            if u32::from(to_t) <= u32::from(dx) + 1 {
+                return Vec::new(); // no improvement possible through the new edge
+            }
+            let mut improved = Vec::new();
+            for &(y, dy) in &sinks {
+                let via = u32::from(dx) + 1 + u32::from(dy);
+                let via = if via >= u32::from(UNREACHABLE) {
+                    UNREACHABLE - 1
+                } else {
+                    via as u16
+                };
+                let old = self.overlay_distance(ov, x, y);
+                if via < old {
+                    improved.push(AffectedPair {
+                        source: x,
+                        sink: y,
+                        old,
+                        new: via,
+                    });
+                }
+            }
+            improved
+        });
+        let mut pairs = Vec::new();
+        for chunk in per_source {
+            pairs.extend(chunk);
+        }
+        for p in &pairs {
+            overlay.insert((p.source, p.sink), p.new);
+        }
+        pairs
+    }
+
+    /// AFF1 for a deletion inside a deferred batch: the same row-diff +
+    /// rectangle shape as [`delete_triage`](Self::delete_triage), but every
+    /// rectangle value comes from a fresh BFS row (the labels may be stale)
+    /// and every changed pair is recorded in `overlay` instead of repaired.
+    ///
+    /// Rectangle completeness carries over from the unit argument: an
+    /// affected `(x, y)` lost a path running `x ⇝ s → t ⇝ y`, whose prefix
+    /// `x ⇝ s` survives the deletion — so `x` still reaches `s` and `(s, y)`
+    /// changed too.
+    fn deferred_delete(
+        &self,
+        g: &DataGraph,
+        s: NodeId,
+        overlay: &mut Overlay,
+    ) -> Vec<AffectedPair> {
+        let n = g.node_count();
+        let mut pairs = Vec::new();
+        let new_row = distance_row(g, s, Direction::Forward, true);
+        let mut changed_sinks: Vec<NodeId> = Vec::new();
+        for (yi, &new) in new_row.iter().enumerate() {
+            let y = NodeId::new(yi as u32);
+            let old = self.overlay_distance(overlay, s, y);
+            if old != new {
+                pairs.push(AffectedPair {
+                    source: s,
+                    sink: y,
+                    old,
+                    new,
+                });
+                changed_sinks.push(y);
+            }
+        }
+        if changed_sinks.is_empty() {
+            crate::metrics::twohop_extra().delete_noop.inc();
+            return pairs;
+        }
+        let to_s = distance_row(g, s, Direction::Backward, false);
+        let sources: Vec<NodeId> = (0..n as u32)
+            .map(NodeId::new)
+            .filter(|&x| x != s && to_s[x.index()] != UNREACHABLE)
+            .collect();
+        for &y in &changed_sinks {
+            // One exact backward row serves the whole column of y.
+            let to_y = distance_row(g, y, Direction::Backward, false);
+            for &x in &sources {
+                let new = if x == y {
+                    // Non-empty diagonal: shortest cycle through y.
+                    let mut best = UNREACHABLE;
+                    for &w in g.out_neighbors(y) {
+                        let d = to_y[w.index()];
+                        if d != UNREACHABLE {
+                            best = best.min(d.saturating_add(1).min(UNREACHABLE - 1));
+                        }
+                    }
+                    best
+                } else {
+                    to_y[x.index()]
+                };
+                let old = self.overlay_distance(overlay, x, y);
+                if old != new {
+                    pairs.push(AffectedPair {
+                        source: x,
+                        sink: y,
+                        old,
+                        new,
+                    });
+                }
+            }
+        }
+        for p in &pairs {
+            overlay.insert((p.source, p.sink), p.new);
+        }
+        pairs
+    }
 }
 
 impl DistanceOracle for IncrementalTwoHop {
@@ -429,6 +710,81 @@ impl DistanceOracle for IncrementalTwoHop {
         let aff = self.delete_repair(g, from, to, exec);
         m.note_unit(false, aff.len());
         aff
+    }
+
+    /// Batch maintenance with at most **one** rebuild no matter how many
+    /// deletions demand one (module docs, *batches*). Healthy units run the
+    /// same per-unit repairs as the default implementation; the first
+    /// rebuild-demanding deletion flips the batch into deferred mode, where
+    /// AFF1s are computed from BFS rows against a truth overlay and the batch
+    /// ends with a single batched, parallel rebuild on the final graph.
+    fn apply_batch(
+        &mut self,
+        g: &DataGraph,
+        updates: &[EdgeUpdate],
+        exec: &Executor,
+    ) -> AffectedPairs {
+        let mut combined = AffectedPairs::default();
+        if updates.is_empty() {
+            return combined;
+        }
+        let m = crate::metrics::twohop();
+        let _span = m.apply_ns.span();
+        // Reconstruct the pre-batch graph by undoing the updates in reverse.
+        let mut scratch = g.clone();
+        for u in updates.iter().rev() {
+            u.inverse().apply(&mut scratch);
+        }
+        let mut overlay: Option<Overlay> = None;
+        for u in updates {
+            if !u.apply(&mut scratch) {
+                continue; // no-op update (duplicate insert / missing delete)
+            }
+            let (from, to) = u.endpoints();
+            let pairs = match (&mut overlay, u.is_insert()) {
+                (None, true) => self.insert_repair(&scratch, from, to, exec).pairs,
+                (None, false) => match self.delete_triage(&scratch, from) {
+                    DeleteTriage::Repaired(aff) => aff.pairs,
+                    DeleteTriage::NeedsRebuild { .. } => {
+                        // First rebuild-demanding deletion: defer. The labels
+                        // are untouched and exact for the pre-deletion graph,
+                        // so an empty overlay is the correct starting truth
+                        // (the triage's two BFS rows are recomputed — a
+                        // once-per-batch cost).
+                        let mut ov = Overlay::default();
+                        let pairs = self.deferred_delete(&scratch, from, &mut ov);
+                        overlay = Some(ov);
+                        pairs
+                    }
+                },
+                (Some(ov), true) => self.deferred_insert(&scratch, from, to, exec, ov),
+                (Some(ov), false) => self.deferred_delete(&scratch, from, ov),
+            };
+            m.note_unit(u.is_insert(), pairs.len());
+            combined.merge(AffectedPairs { pairs });
+        }
+        if overlay.is_some() {
+            // The one rebuild the whole batch shares.
+            let rebuild_start = gpm_obs::enabled().then(std::time::Instant::now);
+            self.index = TwoHopIndex::build_with(g, exec);
+            self.hubs_by_rank = recover_ranks(&self.index);
+            self.rebuilds += 1;
+            self.prune_dominated();
+            if let Some(start) = rebuild_start {
+                let ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                let mx = crate::metrics::twohop_extra();
+                mx.batch_deferred.inc();
+                mx.rebuilds.inc();
+                mx.rebuild_ns.record(ns);
+                gpm_obs::emit_event(
+                    "oracle",
+                    "rebuild",
+                    &[("dur_ns", ns)],
+                    &[("backend", "two-hop"), ("cause", "batch-delete")],
+                );
+            }
+        }
+        combined
     }
 
     fn rebuilds(&self) -> usize {
@@ -704,6 +1060,103 @@ mod tests {
         assert!(!o.within(&g, n(4), n(0), EdgeBound::Unbounded));
     }
 
+    #[test]
+    fn memory_accounting_counts_headers_and_capacity() {
+        let g = path_graph(5);
+        let oracle = IncrementalTwoHop::build(&g);
+        let header = std::mem::size_of::<Vec<LabelEntry>>();
+        let entry = std::mem::size_of::<LabelEntry>();
+        let idx = oracle.index();
+        let label_capacity: usize = idx
+            .label_out
+            .iter()
+            .chain(idx.label_in.iter())
+            .map(Vec::capacity)
+            .sum();
+        let expected = label_capacity * entry
+            + (idx.label_out.capacity() + idx.label_in.capacity()) * header
+            + idx.diagonal.capacity() * std::mem::size_of::<u16>()
+            + oracle.hubs_by_rank.capacity() * std::mem::size_of::<NodeId>();
+        assert_eq!(oracle.memory_bytes(), expected);
+        // The old entries-only formula dropped the 2·|V| label-Vec headers
+        // (and capacity slack) — the fixed accounting is strictly larger.
+        assert!(
+            oracle.memory_bytes() > idx.label_entries() * entry,
+            "capacity accounting must exceed the old entries-only formula"
+        );
+    }
+
+    #[test]
+    fn batch_of_rebuild_demanding_deletes_pays_one_rebuild() {
+        // Star with an upstream source: 0 → 1 → {2..2+LEAVES}. Deleting any
+        // (1, leaf) edge changes the row of 1 while 0 still reaches 1, so
+        // every unit triages to NeedsRebuild — the unit path would pay LEAVES
+        // rebuilds, the batch path exactly one.
+        const LEAVES: u32 = 5;
+        let mut g = DataGraph::new();
+        g.add_nodes(2 + LEAVES as usize);
+        g.add_edge(n(0), n(1)).unwrap();
+        for i in 0..LEAVES {
+            g.add_edge(n(1), n(2 + i)).unwrap();
+        }
+        let exec = Executor::sequential();
+        let mut oracle = IncrementalTwoHop::build(&g);
+        let mut m = DistanceMatrix::build(&g);
+
+        let updates: Vec<EdgeUpdate> = (0..LEAVES)
+            .map(|i| EdgeUpdate::Delete(n(1), n(2 + i)))
+            .collect();
+        for u in &updates {
+            u.apply(&mut g);
+        }
+        let aff_o = oracle.apply_batch(&g, &updates, &exec);
+        let aff_m = m.apply_batch(&g, &updates, &exec);
+        assert_eq!(sorted(aff_o.pairs), sorted(aff_m.pairs));
+        assert_all_pairs_agree(&g, &oracle, &m);
+        assert_eq!(
+            oracle.rebuild_count(),
+            1,
+            "a batch of rebuild-demanding deletions pays exactly one rebuild"
+        );
+    }
+
+    #[test]
+    fn prune_dominated_bounds_growth_and_keeps_queries_exact() {
+        // A long interleaved insert/delete stream leaves stale dominated
+        // entries behind; the quiesce hook must drop them without changing
+        // any query, landing within a constant factor of a fresh build.
+        let (mut g, updates) = random_graph_and_updates(7, 12, 24, 60);
+        let exec = Executor::sequential();
+        let mut oracle = IncrementalTwoHop::build(&g);
+        for u in updates {
+            if !u.apply(&mut g) {
+                continue;
+            }
+            let (a, b) = u.endpoints();
+            if u.is_insert() {
+                oracle.apply_insert(&g, a, b, &exec);
+            } else {
+                oracle.apply_delete(&g, a, b, &exec);
+            }
+        }
+        let before = oracle.index().label_entries();
+        let dropped = oracle.prune_dominated();
+        assert_eq!(oracle.index().label_entries() + dropped, before);
+
+        let m = DistanceMatrix::build(&g);
+        assert_all_pairs_agree(&g, &oracle, &m);
+
+        let fresh = IncrementalTwoHop::build(&g);
+        assert!(
+            oracle.index().label_entries() <= 2 * fresh.index().label_entries(),
+            "pruned index ({} entries) must stay within 2x of a fresh build ({})",
+            oracle.index().label_entries(),
+            fresh.index().label_entries()
+        );
+        // Idempotent at the fixpoint.
+        assert_eq!(oracle.prune_dominated(), 0);
+    }
+
     fn random_graph_and_updates(
         seed: u64,
         nodes: usize,
@@ -778,6 +1231,37 @@ mod tests {
                             "seed {} after {}: mismatch at ({}, {})", seed, u, x, y
                         );
                     }
+                }
+            }
+        }
+
+        /// Whole random batches (mixed inserts and deletes, including
+        /// rebuild-demanding ones) produce the same net AFF1 set as the
+        /// matrix, leave every query exact, and pay at most one rebuild.
+        #[test]
+        fn prop_batches_agree_with_matrix(seed in 400u64..600) {
+            let (mut g, updates) = random_graph_and_updates(seed, 12, 24, 8);
+            let exec = Executor::sequential();
+            let mut oracle = IncrementalTwoHop::build(&g);
+            let mut m = DistanceMatrix::build(&g);
+            for u in &updates {
+                u.apply(&mut g);
+            }
+            let aff_o = oracle.apply_batch(&g, &updates, &exec);
+            let aff_m = m.apply_batch(&g, &updates, &exec);
+            prop_assert_eq!(
+                sorted(aff_o.pairs),
+                sorted(aff_m.pairs),
+                "seed {}: batch AFF1 must match as a set", seed
+            );
+            prop_assert!(oracle.rebuild_count() <= 1, "at most one rebuild per batch");
+            for x in g.nodes() {
+                for y in g.nodes() {
+                    prop_assert_eq!(
+                        oracle.nonempty_distance(x, y),
+                        m.nonempty_distance(x, y),
+                        "seed {}: mismatch at ({}, {})", seed, x, y
+                    );
                 }
             }
         }

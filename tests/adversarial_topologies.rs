@@ -15,6 +15,11 @@
 //! | cut a clique bridge | the whole upstream clique reaches the cut | 1 |
 //! | sever a bowtie `source → waist` edge | nothing reaches the source → in-place row repair | 0 |
 //! | sever every bowtie `waist → sink` edge | every source reaches the cut | 1 per edge |
+//!
+//! The "1 per edge" rows hold for *unit-by-unit* application only: through
+//! the batch surface ([`gpm::DistanceOracle::apply_batch`]) rebuild-demanding
+//! deletions are deferred into a **single** end-of-batch rebuild, which the
+//! two teardown-batch tests at the bottom pin down.
 
 use gpm::datagen::{
     bowtie, cliques_with_bridges, cut_bridge_updates, cut_chain_updates, deep_chain,
@@ -194,7 +199,8 @@ fn grid_shortcut_insertions_never_rebuild() {
 
 /// Worst-case scripts applied through the *batch* surface give the same
 /// end state as unit application (the star teardown ends with every leaf
-/// pair unreachable and hub→leaf gone, leaf→hub intact).
+/// pair unreachable and hub→leaf gone, leaf→hub intact) — but pay **one**
+/// rebuild for the whole batch where unit application paid one per edge.
 #[test]
 fn star_teardown_batch_matches_unit_semantics() {
     const LEAVES: usize = 12;
@@ -224,7 +230,41 @@ fn star_teardown_batch_matches_unit_semantics() {
     }
     assert_eq!(
         oracle.rebuilds(),
-        LEAVES,
-        "the batch replays unit deletions, one rebuild each"
+        1,
+        "deferred batch deletions share a single end-of-batch rebuild"
+    );
+}
+
+/// The bowtie waist teardown — E rebuild-forcing deletions in one batch —
+/// records exactly **1** rebuild (was E before deferred batching), while the
+/// batch `AFF1` still matches the matrix as a set and every pair agrees.
+#[test]
+fn bowtie_waist_teardown_batch_rebuilds_once() {
+    const WING: usize = 12;
+    let exec = exec();
+    let g0 = bowtie(WING);
+    let script = sever_waist_updates(WING);
+    assert!(script.len() > 1, "the batch must contain E > 1 deletions");
+    assert!(script.iter().all(|u| !u.is_insert()));
+
+    let mut g = g0.clone();
+    let mut matrix = OracleBackend::Matrix.build(&g0, &exec);
+    let mut two_hop = OracleBackend::TwoHop.build(&g0, &exec);
+    for u in &script {
+        assert!(u.apply(&mut g));
+    }
+    let aff_m = matrix.apply_batch(&g, &script, &exec);
+    let aff_t = two_hop.apply_batch(&g, &script, &exec);
+    assert_eq!(
+        sorted_aff(&aff_m),
+        sorted_aff(&aff_t),
+        "batch AFF1 diverged on the waist teardown"
+    );
+    assert_backends_agree(&g, matrix.as_ref(), two_hop.as_ref(), "after teardown");
+    assert_eq!(
+        two_hop.rebuilds(),
+        1,
+        "a batch of {} rebuild-forcing deletions pays exactly one rebuild",
+        script.len()
     );
 }

@@ -118,8 +118,33 @@ fn unit_updates_keep_backends_bit_identical() {
     }
 }
 
+/// The pruned-landmark construction is *bit-identical* whichever way it is
+/// scheduled: the sequential reference loop and the rank-batched,
+/// bit-parallel build must produce the same labels entry for entry, at 1, 2
+/// and 8 threads and batch sizes 1, 7 and 64 (degenerate, straddling and
+/// full-word batches).
+#[test]
+fn batched_build_is_bit_identical_across_threads_and_batch_sizes() {
+    use gpm::TwoHopIndex;
+    for seed in [5u64, 23] {
+        let g = labelled_graph(40, 110, 3, seed);
+        let reference = TwoHopIndex::build_sequential(&g);
+        for threads in [1usize, 2, 8] {
+            let exec = Executor::new(Parallelism::new(threads).with_sequential_threshold(0));
+            for batch in [1usize, 7, 64] {
+                let built = TwoHopIndex::build_batched(&g, &exec, batch);
+                assert_eq!(
+                    built, reference,
+                    "batched build diverged (seed {seed}, {threads} threads, batch {batch})"
+                );
+            }
+        }
+    }
+}
+
 /// The batched `UpdateBM` surface agrees too (the matrix overrides
-/// `apply_batch`, the 2-hop backend uses the default unit replay).
+/// `apply_batch` natively; the 2-hop backend defers rebuild-demanding
+/// deletions into a single end-of-batch rebuild).
 #[test]
 fn batch_updates_keep_backends_bit_identical() {
     let g0 = labelled_graph(28, 70, 3, 5);
